@@ -1,0 +1,281 @@
+// Benchmarks regenerating every table and figure of the paper's experimental
+// evaluation (section 6). Each benchmark reports, besides the usual ns/op,
+// the domain metrics of the corresponding figure via b.ReportMetric:
+//
+//	BenchmarkTable1Figure1       — the worked example (Fig. 1 / Table 1):
+//	                               schedule-table generation, reports δM and δmax.
+//	BenchmarkFig2PathSchedules   — list scheduling of the six alternative
+//	                               paths of the worked example (Fig. 2).
+//	BenchmarkFig5Increase        — increase of δmax over δM on generated
+//	                               graphs, one sub-benchmark per
+//	                               (nodes, alternative paths) cell of Fig. 5.
+//	BenchmarkFig6MergeTime       — execution time of the schedule merging,
+//	                               one sub-benchmark per cell of Fig. 6.
+//	BenchmarkListSchedule120     — individual path scheduling on 120-node
+//	                               graphs (the "< 0.003 s" figure of §6).
+//	BenchmarkTable2OAM           — the ATM OAM example, one sub-benchmark per
+//	                               mode and architecture of Table 2, reporting
+//	                               the worst-case delay in ns.
+//	BenchmarkAblation*           — design-choice ablations (path selection
+//	                               rule, list-scheduling priority, conflict
+//	                               resolution policy).
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/atm"
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/gen"
+	"repro/internal/listsched"
+	"repro/internal/stats"
+)
+
+// mustFigure1 builds the worked example once per benchmark.
+func mustFigure1(b *testing.B) (*Graph, *Architecture) {
+	b.Helper()
+	g, a, err := expr.Figure1()
+	if err != nil {
+		b.Fatalf("Figure1: %v", err)
+	}
+	return g, a
+}
+
+// BenchmarkTable1Figure1 regenerates the schedule table of the worked example
+// (Table 1 of the paper) and reports δM and δmax (the paper measures 39/39).
+func BenchmarkTable1Figure1(b *testing.B) {
+	g, a := mustFigure1(b)
+	var res *core.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = core.Schedule(g, a, core.Options{})
+		if err != nil {
+			b.Fatalf("Schedule: %v", err)
+		}
+	}
+	b.ReportMetric(float64(res.DeltaM), "deltaM")
+	b.ReportMetric(float64(res.DeltaMax), "deltaMax")
+	b.ReportMetric(float64(res.Table.NumEntries()), "table-entries")
+}
+
+// BenchmarkFig2PathSchedules schedules the six alternative paths of the
+// worked example individually (the delays listed next to Fig. 2).
+func BenchmarkFig2PathSchedules(b *testing.B) {
+	g, a := mustFigure1(b)
+	paths, err := g.AlternativePaths(0)
+	if err != nil {
+		b.Fatalf("AlternativePaths: %v", err)
+	}
+	var deltaM int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, deltaM, err = listsched.ScheduleAllPaths(g, a, paths, listsched.Options{})
+		if err != nil {
+			b.Fatalf("ScheduleAllPaths: %v", err)
+		}
+	}
+	b.ReportMetric(float64(len(paths)), "paths")
+	b.ReportMetric(float64(deltaM), "deltaM")
+}
+
+// sweepCell runs one (nodes, paths) cell of the Fig. 5 / Fig. 6 sweep inside
+// a benchmark iteration and returns the aggregated increase statistics.
+func sweepCell(b *testing.B, nodes, paths, graphs int, seed int64, opts core.Options) (avgIncrease, zeroFraction, avgMergeNs float64) {
+	b.Helper()
+	r := rand.New(rand.NewSource(seed))
+	var increases []float64
+	var mergeNs []float64
+	for i := 0; i < graphs; i++ {
+		inst, err := gen.Generate(gen.RandomConfig(r, nodes, paths))
+		if err != nil {
+			b.Fatalf("Generate: %v", err)
+		}
+		res, err := core.Schedule(inst.Graph, inst.Arch, opts)
+		if err != nil {
+			b.Fatalf("Schedule: %v", err)
+		}
+		increases = append(increases, res.IncreasePercent())
+		mergeNs = append(mergeNs, float64(res.Stats.MergeTime))
+	}
+	return stats.Mean(increases),
+		stats.Fraction(increases, func(v float64) bool { return v == 0 }),
+		stats.Mean(mergeNs)
+}
+
+// fig5Cells are the fifteen cells of Fig. 5 / Fig. 6 of the paper.
+var fig5Cells = func() []struct{ nodes, paths int } {
+	var out []struct{ nodes, paths int }
+	for _, n := range []int{60, 80, 120} {
+		for _, p := range []int{10, 12, 18, 24, 32} {
+			out = append(out, struct{ nodes, paths int }{n, p})
+		}
+	}
+	return out
+}()
+
+// BenchmarkFig5Increase regenerates Fig. 5: the percentage increase of the
+// worst-case delay δmax over the longest path delay δM, per graph size and
+// number of merged schedules. The paper reports averages between 0.1% and
+// 7.63% and zero increase for 90/82/57/46/33 % of the graphs with
+// 10/12/18/24/32 alternative paths.
+func BenchmarkFig5Increase(b *testing.B) {
+	const graphsPerCell = 3
+	for _, cell := range fig5Cells {
+		cell := cell
+		b.Run(fmt.Sprintf("nodes=%d/paths=%d", cell.nodes, cell.paths), func(b *testing.B) {
+			var avg, zero float64
+			for i := 0; i < b.N; i++ {
+				avg, zero, _ = sweepCell(b, cell.nodes, cell.paths, graphsPerCell, int64(1000+i), core.Options{})
+			}
+			b.ReportMetric(avg, "increase-%")
+			b.ReportMetric(100*zero, "zero-increase-%")
+		})
+	}
+}
+
+// BenchmarkFig6MergeTime regenerates Fig. 6: the execution time of the
+// schedule merging as a function of the number of merged schedules (the paper
+// measures 0.05-0.25 s on a SPARCstation 20).
+func BenchmarkFig6MergeTime(b *testing.B) {
+	const graphsPerCell = 3
+	for _, cell := range fig5Cells {
+		cell := cell
+		b.Run(fmt.Sprintf("nodes=%d/paths=%d", cell.nodes, cell.paths), func(b *testing.B) {
+			var mergeNs float64
+			for i := 0; i < b.N; i++ {
+				_, _, mergeNs = sweepCell(b, cell.nodes, cell.paths, graphsPerCell, int64(2000+i), core.Options{})
+			}
+			b.ReportMetric(mergeNs/1e6, "merge-ms")
+		})
+	}
+}
+
+// BenchmarkListSchedule120 measures list scheduling of the individual
+// alternative paths of 120-node graphs (section 6 quotes less than 0.003 s
+// per graph for this step).
+func BenchmarkListSchedule120(b *testing.B) {
+	inst, err := gen.Generate(gen.Config{Seed: 3, Nodes: 120, TargetPaths: 18, Processors: 6, Hardware: 1, Buses: 3})
+	if err != nil {
+		b.Fatalf("Generate: %v", err)
+	}
+	paths, err := inst.Graph.AlternativePaths(0)
+	if err != nil {
+		b.Fatalf("AlternativePaths: %v", err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := listsched.ScheduleAllPaths(inst.Graph, inst.Arch, paths, listsched.Options{}); err != nil {
+			b.Fatalf("ScheduleAllPaths: %v", err)
+		}
+	}
+	b.ReportMetric(float64(len(paths)), "paths")
+}
+
+// BenchmarkTable2OAM regenerates Table 2: the worst-case delay of the three
+// OAM modes over the architecture configurations of the paper. The reported
+// metric "delay-ns" is the worst-case delay of the mode on the configuration.
+func BenchmarkTable2OAM(b *testing.B) {
+	configs := []atm.ArchConfig{
+		{Processors: []atm.ProcessorType{atm.I486}, Memories: 1},
+		{Processors: []atm.ProcessorType{atm.Pentium}, Memories: 1},
+		{Processors: []atm.ProcessorType{atm.I486, atm.I486}, Memories: 1},
+		{Processors: []atm.ProcessorType{atm.Pentium, atm.Pentium}, Memories: 1},
+		{Processors: []atm.ProcessorType{atm.Pentium, atm.Pentium}, Memories: 2},
+	}
+	for _, mode := range []atm.Mode{atm.Mode1, atm.Mode2, atm.Mode3} {
+		for _, cfg := range configs {
+			mode, cfg := mode, cfg
+			b.Run(fmt.Sprintf("mode=%d/%s", int(mode), cfg.Label()), func(b *testing.B) {
+				var ev *atm.Evaluation
+				for i := 0; i < b.N; i++ {
+					var err error
+					ev, err = atm.Evaluate(mode, cfg, core.Options{})
+					if err != nil {
+						b.Fatalf("Evaluate: %v", err)
+					}
+				}
+				b.ReportMetric(float64(ev.Delay), "delay-ns")
+			})
+		}
+	}
+}
+
+// ablationInstance is the shared random instance used by the ablation
+// benchmarks so that their reported metrics are directly comparable.
+func ablationInstance(b *testing.B) *gen.Instance {
+	b.Helper()
+	inst, err := gen.Generate(gen.Config{Seed: 77, Nodes: 80, TargetPaths: 24, Processors: 4, Hardware: 1, Buses: 2})
+	if err != nil {
+		b.Fatalf("Generate: %v", err)
+	}
+	return inst
+}
+
+// BenchmarkAblationPathSelection compares the paper's largest-delay-first
+// path selection (rule 1 of section 5.1) against smaller-delay-first and
+// enumeration order.
+func BenchmarkAblationPathSelection(b *testing.B) {
+	inst := ablationInstance(b)
+	for _, sel := range []core.PathSelection{core.SelectLargestDelay, core.SelectSmallestDelay, core.SelectFirst} {
+		sel := sel
+		b.Run(sel.String(), func(b *testing.B) {
+			var res *core.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = core.Schedule(inst.Graph, inst.Arch, core.Options{PathSelection: sel})
+				if err != nil {
+					b.Fatalf("Schedule: %v", err)
+				}
+			}
+			b.ReportMetric(res.IncreasePercent(), "increase-%")
+			b.ReportMetric(float64(res.DeltaMax), "deltaMax")
+		})
+	}
+}
+
+// BenchmarkAblationPathPriority compares the critical-path list-scheduling
+// priority used for the individual paths against a plain fixed-order
+// priority.
+func BenchmarkAblationPathPriority(b *testing.B) {
+	inst := ablationInstance(b)
+	for _, prio := range []listsched.Priority{listsched.PriorityCriticalPath, listsched.PriorityFixedOrder} {
+		prio := prio
+		b.Run(prio.String(), func(b *testing.B) {
+			var res *core.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = core.Schedule(inst.Graph, inst.Arch, core.Options{PathPriority: prio})
+				if err != nil {
+					b.Fatalf("Schedule: %v", err)
+				}
+			}
+			b.ReportMetric(float64(res.DeltaM), "deltaM")
+			b.ReportMetric(float64(res.DeltaMax), "deltaMax")
+		})
+	}
+}
+
+// BenchmarkAblationConflictPolicy compares Theorem-2 conflict resolution with
+// the naive delay-to-latest policy.
+func BenchmarkAblationConflictPolicy(b *testing.B) {
+	inst := ablationInstance(b)
+	for _, pol := range []core.ConflictPolicy{core.ConflictMoveToExisting, core.ConflictDelayToLatest} {
+		pol := pol
+		b.Run(pol.String(), func(b *testing.B) {
+			var res *core.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = core.Schedule(inst.Graph, inst.Arch, core.Options{ConflictPolicy: pol})
+				if err != nil {
+					b.Fatalf("Schedule: %v", err)
+				}
+			}
+			b.ReportMetric(res.IncreasePercent(), "increase-%")
+			b.ReportMetric(float64(res.Stats.Conflicts), "conflicts")
+		})
+	}
+}

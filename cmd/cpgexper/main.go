@@ -1,0 +1,101 @@
+// Command cpgexper regenerates the tables and figures of the paper's
+// experimental evaluation (section 6):
+//
+//	cpgexper -exp fig1     # worked example: path delays (Fig. 2), Table 1
+//	cpgexper -exp fig4     # time charts of the optimal path schedules
+//	cpgexper -exp fig5     # increase of δmax over δM on generated graphs
+//	cpgexper -exp fig6     # execution time of the schedule merging
+//	cpgexper -exp table2   # ATM OAM worst-case delays
+//	cpgexper -exp all      # everything
+//
+// The Fig. 5 / Fig. 6 sweep uses a reduced number of graphs per cell by
+// default; pass -full to regenerate the paper's 1080-graph experiment, or
+// -graphs N to choose the number of graphs per (size, paths) cell.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/expr"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "cpgexper:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("cpgexper", flag.ContinueOnError)
+	fs.SetOutput(out)
+	exp := fs.String("exp", "all", "experiment to run: fig1, fig4, fig5, fig6, table2 or all")
+	full := fs.Bool("full", false, "run the full 1080-graph sweep of the paper (slower)")
+	graphs := fs.Int("graphs", 4, "graphs per (size, paths) cell of the Fig. 5/6 sweep")
+	seed := fs.Int64("seed", 1998, "random seed of the sweep")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+	ran := false
+
+	if want("fig1") || want("table1") || want("fig2") {
+		ran = true
+		r, err := expr.RunFigure1(core.Options{})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, strings.TrimRight(expr.RenderFigure1(r), "\n"))
+		fmt.Fprintln(out)
+	}
+	if want("fig4") {
+		ran = true
+		r, err := expr.RunFigure1(core.Options{})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "Optimal schedules of the alternative paths of Fig. 1 (cf. Fig. 4):")
+		fmt.Fprintln(out, expr.Figure1Gantt(r))
+	}
+	if want("fig5") || want("fig6") {
+		ran = true
+		cfg := expr.SweepConfig{GraphsPerCell: *graphs, Seed: *seed}
+		if *full {
+			cfg = expr.PaperSweep()
+			cfg.Seed = *seed
+		}
+		start := time.Now()
+		cells, err := expr.RunSweep(cfg)
+		if err != nil {
+			return err
+		}
+		cfg = cfg.Normalize()
+		fmt.Fprintf(out, "Sweep over %d graphs (%d per cell), total time %v\n\n",
+			len(cfg.Nodes)*len(cfg.Paths)*cfg.GraphsPerCell, cfg.GraphsPerCell, time.Since(start).Round(time.Millisecond))
+		if want("fig5") {
+			fmt.Fprintln(out, expr.RenderFig5(cells))
+		}
+		if want("fig6") {
+			fmt.Fprintln(out, expr.RenderFig6(cells))
+		}
+	}
+	if want("table2") {
+		ran = true
+		res, err := expr.RunTable2(core.Options{})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, expr.RenderTable2(res))
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q (want fig1, fig4, fig5, fig6, table2 or all)", *exp)
+	}
+	return nil
+}

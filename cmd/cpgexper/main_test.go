@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestExperimentFig1(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "fig1"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	for _, want := range []string{"Fig. 1", "δM", "δmax", "Schedule table"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("fig1 output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestExperimentFig4(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "fig4"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "pe1") {
+		t.Fatalf("fig4 output missing time charts:\n%s", out.String())
+	}
+}
+
+func TestExperimentSweepSmall(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "fig5", "-graphs", "1", "-seed", "3"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "Fig. 5") || !strings.Contains(s, "120 nodes") {
+		t.Fatalf("fig5 output unexpected:\n%s", s)
+	}
+	out.Reset()
+	if err := run([]string{"-exp", "fig6", "-graphs", "1", "-seed", "3"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "Fig. 6") {
+		t.Fatalf("fig6 output unexpected:\n%s", out.String())
+	}
+}
+
+func TestExperimentTable2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table 2 evaluates 30 configurations; skipped in -short mode")
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "table2"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "Table 2") || !strings.Contains(s, "2P/2M") {
+		t.Fatalf("table2 output unexpected:\n%s", s)
+	}
+}
+
+func TestExperimentUnknown(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "bogus"}, &out); err == nil {
+		t.Fatalf("unknown experiment must fail")
+	}
+	if err := run([]string{"-nope"}, &out); err == nil {
+		t.Fatalf("unknown flag must fail")
+	}
+}

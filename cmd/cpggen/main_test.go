@@ -1,0 +1,52 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestGenerateToStdout(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-nodes", "60", "-paths", "12", "-processors", "3", "-buses", "2", "-seed", "5"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "\"processingElements\"") || !strings.Contains(out.String(), "\"edges\"") {
+		t.Fatalf("JSON output unexpected:\n%s", out.String())
+	}
+}
+
+func TestGenerateToFileWithDOT(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "p.json")
+	dotPath := filepath.Join(dir, "p.dot")
+	var out bytes.Buffer
+	err := run([]string{"-nodes", "60", "-paths", "10", "-out", jsonPath, "-dot", dotPath, "-dist", "exponential"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil || !strings.Contains(string(data), "\"processes\"") {
+		t.Fatalf("JSON file missing or wrong: %v", err)
+	}
+	dot, err := os.ReadFile(dotPath)
+	if err != nil || !strings.Contains(string(dot), "digraph") {
+		t.Fatalf("DOT file missing or wrong: %v", err)
+	}
+	if !strings.Contains(out.String(), "wrote") {
+		t.Fatalf("summary line missing: %q", out.String())
+	}
+}
+
+func TestGenerateBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-dist", "weird"}, &out); err == nil {
+		t.Fatalf("unknown distribution must fail")
+	}
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Fatalf("unknown flag must fail")
+	}
+}

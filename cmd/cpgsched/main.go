@@ -1,0 +1,171 @@
+// Command cpgsched generates the schedule table for a conditional process
+// graph described in the JSON interchange format of this repository.
+//
+// Usage:
+//
+//	cpgsched -in problem.json [-selection largest|smallest|first]
+//	         [-priority cp|order] [-conflicts move|delay]
+//	         [-gantt] [-dot out.dot] [-quiet]
+//
+// The command prints the delays of the alternative paths, δM, δmax, the
+// merging statistics and the schedule table (in the style of Table 1 of the
+// paper). With -gantt it additionally prints the optimal schedule of every
+// path as a time chart; with -dot it writes a Graphviz rendering of the
+// graph.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/listsched"
+	"repro/internal/table"
+	"repro/internal/textio"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "cpgsched:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("cpgsched", flag.ContinueOnError)
+	fs.SetOutput(out)
+	in := fs.String("in", "", "problem JSON file (default: stdin)")
+	selection := fs.String("selection", "largest", "path selection after back-steps: largest, smallest or first")
+	priority := fs.String("priority", "cp", "list scheduling priority for individual paths: cp (critical path) or order")
+	conflicts := fs.String("conflicts", "move", "conflict resolution: move (Theorem 2) or delay")
+	gantt := fs.Bool("gantt", false, "print the optimal schedule of every path as a time chart")
+	dispatch := fs.Bool("dispatch", false, "print the per-processing-element dispatch tables")
+	dot := fs.String("dot", "", "write a Graphviz DOT rendering of the graph to this file")
+	csvOut := fs.String("csv", "", "write the schedule table as CSV to this file")
+	jsonOut := fs.String("table-json", "", "write the schedule table as JSON to this file")
+	quiet := fs.Bool("quiet", false, "print only the delays")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	g, a, err := textio.Read(r)
+	if err != nil {
+		return err
+	}
+
+	opts := core.Options{}
+	switch *selection {
+	case "largest":
+		opts.PathSelection = core.SelectLargestDelay
+	case "smallest":
+		opts.PathSelection = core.SelectSmallestDelay
+	case "first":
+		opts.PathSelection = core.SelectFirst
+	default:
+		return fmt.Errorf("unknown -selection %q", *selection)
+	}
+	switch *priority {
+	case "cp":
+		opts.PathPriority = listsched.PriorityCriticalPath
+	case "order":
+		opts.PathPriority = listsched.PriorityFixedOrder
+	default:
+		return fmt.Errorf("unknown -priority %q", *priority)
+	}
+	switch *conflicts {
+	case "move":
+		opts.ConflictPolicy = core.ConflictMoveToExisting
+	case "delay":
+		opts.ConflictPolicy = core.ConflictDelayToLatest
+	default:
+		return fmt.Errorf("unknown -conflicts %q", *conflicts)
+	}
+
+	if *dot != "" {
+		if err := os.WriteFile(*dot, []byte(textio.DOT(g, a)), 0o644); err != nil {
+			return err
+		}
+	}
+
+	res, err := core.Schedule(g, a, opts)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "graph %s: %d processes, %d conditions, %d alternative paths\n",
+		g.Name(), g.NumOrdinary(), g.NumConds(), len(res.Paths))
+	for _, p := range res.Paths {
+		fmt.Fprintf(out, "  path %-20s optimal %6d   table %6d\n",
+			p.Label.Format(g.CondName), p.OptimalDelay, p.TableDelay)
+	}
+	fmt.Fprintf(out, "deltaM   = %d\n", res.DeltaM)
+	fmt.Fprintf(out, "deltaMax = %d (increase %.2f%%)\n", res.DeltaMax, res.IncreasePercent())
+	fmt.Fprintf(out, "deterministic = %v\n", res.Deterministic())
+	if !res.Deterministic() {
+		for _, v := range res.TableViolations {
+			fmt.Fprintf(out, "  table violation: %s\n", v)
+		}
+		for _, v := range res.SimViolations {
+			fmt.Fprintf(out, "  simulation violation: %s\n", v)
+		}
+	}
+	if *csvOut != "" {
+		f, err := os.Create(*csvOut)
+		if err != nil {
+			return err
+		}
+		if err := textio.WriteTableCSV(f, g, res.Table); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			return err
+		}
+		if err := textio.WriteTableJSON(f, g, res.Table); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if *quiet {
+		return nil
+	}
+	s := res.Stats
+	fmt.Fprintf(out, "stats: %d back-steps, %d conflicts (%d resolved), %d locks, %d columns, %d entries\n",
+		s.BackSteps, s.Conflicts, s.ConflictsResolved, s.Locks, s.Columns, s.Entries)
+	fmt.Fprintf(out, "timing: path scheduling %v, merging %v, validation %v\n\n",
+		s.PathSchedulingTime, s.MergeTime, s.ValidationTime)
+	fmt.Fprintln(out, "schedule table:")
+	fmt.Fprint(out, res.Table.Render(table.RenderOptions{Namer: g.CondName, RowName: res.RowName}))
+	if *dispatch {
+		fmt.Fprintln(out, "\nper-processing-element dispatch tables:")
+		fmt.Fprint(out, core.RenderDispatch(res, core.Dispatch(res)))
+	}
+	if *gantt {
+		fmt.Fprintln(out, "\noptimal path schedules:")
+		for _, ps := range res.Schedules {
+			fmt.Fprint(out, ps.Gantt(a, res.RowName))
+			fmt.Fprintln(out)
+		}
+	}
+	return nil
+}

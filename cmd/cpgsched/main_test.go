@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/textio"
+)
+
+// writeProblem generates a small problem file for the command tests.
+func writeProblem(t *testing.T) string {
+	t.Helper()
+	inst, err := gen.Generate(gen.Config{Seed: 3, Nodes: 30, TargetPaths: 4, Processors: 2, Hardware: 1, Buses: 1})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "problem.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	defer f.Close()
+	if err := textio.Write(f, inst.Graph, inst.Arch); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	return path
+}
+
+func TestScheduleCommand(t *testing.T) {
+	path := writeProblem(t)
+	var out bytes.Buffer
+	if err := run([]string{"-in", path, "-gantt"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	for _, want := range []string{"deltaM", "deltaMax", "deterministic = true", "schedule table:", "optimal path schedules:"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestScheduleCommandOptionsAndDot(t *testing.T) {
+	path := writeProblem(t)
+	dir := t.TempDir()
+	dot := filepath.Join(dir, "g.dot")
+	csv := filepath.Join(dir, "t.csv")
+	tblJSON := filepath.Join(dir, "t.json")
+	var out bytes.Buffer
+	err := run([]string{"-in", path, "-selection", "smallest", "-priority", "order", "-conflicts", "delay",
+		"-quiet", "-dot", dot, "-csv", csv, "-table-json", tblJSON}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if strings.Contains(out.String(), "schedule table:") {
+		t.Fatalf("-quiet must suppress the table")
+	}
+	if data, err := os.ReadFile(dot); err != nil || !strings.Contains(string(data), "digraph") {
+		t.Fatalf("DOT file not written: %v", err)
+	}
+	if data, err := os.ReadFile(csv); err != nil || !strings.HasPrefix(string(data), "process,") {
+		t.Fatalf("CSV file not written: %v", err)
+	}
+	if data, err := os.ReadFile(tblJSON); err != nil || !strings.Contains(string(data), "\"entries\"") {
+		t.Fatalf("table JSON not written: %v", err)
+	}
+}
+
+func TestScheduleCommandDispatch(t *testing.T) {
+	path := writeProblem(t)
+	var out bytes.Buffer
+	if err := run([]string{"-in", path, "-dispatch"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "local scheduler on") {
+		t.Fatalf("dispatch tables missing:\n%s", out.String())
+	}
+}
+
+func TestScheduleCommandErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-in", "/does/not/exist.json"}, &out); err == nil {
+		t.Fatalf("missing input file must fail")
+	}
+	path := writeProblem(t)
+	if err := run([]string{"-in", path, "-selection", "weird"}, &out); err == nil {
+		t.Fatalf("unknown selection must fail")
+	}
+	if err := run([]string{"-in", path, "-priority", "weird"}, &out); err == nil {
+		t.Fatalf("unknown priority must fail")
+	}
+	if err := run([]string{"-in", path, "-conflicts", "weird"}, &out); err == nil {
+		t.Fatalf("unknown conflict policy must fail")
+	}
+}

@@ -1,0 +1,171 @@
+// Command cpgsim generates the schedule table for a problem and then
+// re-enacts the run-time behaviour of the distributed scheduler, either for
+// every alternative path or for one specific combination of condition values.
+//
+// Usage:
+//
+//	cpgsim -in problem.json                 # simulate every alternative path
+//	cpgsim -in problem.json -cond C=1,K=0   # simulate one combination
+//
+// For every simulated execution the command prints the activation time of
+// each process, the completion time and any violation of the requirements of
+// section 3 of the paper (there should be none).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/cond"
+	"repro/internal/core"
+	"repro/internal/cpg"
+	"repro/internal/sim"
+	"repro/internal/textio"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "cpgsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("cpgsim", flag.ContinueOnError)
+	fs.SetOutput(out)
+	in := fs.String("in", "", "problem JSON file (default: stdin)")
+	condSpec := fs.String("cond", "", "comma separated condition values, e.g. C=1,K=0 (default: all paths)")
+	verbose := fs.Bool("v", false, "print the activation time of every process")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	g, a, err := textio.Read(r)
+	if err != nil {
+		return err
+	}
+	res, err := core.Schedule(g, a, core.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "schedule table generated: deltaM=%d deltaMax=%d deterministic=%v\n",
+		res.DeltaM, res.DeltaMax, res.Deterministic())
+
+	paths, err := g.AlternativePaths(0)
+	if err != nil {
+		return err
+	}
+	selected := paths
+	if *condSpec != "" {
+		label, err := parseConds(g, *condSpec)
+		if err != nil {
+			return err
+		}
+		selected = nil
+		for _, p := range paths {
+			if p.Label.Implies(label) {
+				selected = append(selected, p)
+			}
+		}
+		if len(selected) == 0 {
+			return fmt.Errorf("no alternative path matches %q", *condSpec)
+		}
+	}
+
+	for _, p := range selected {
+		tr, err := sim.Run(g, a, res.Table, p)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\npath %s: completion time %d, violations %d\n",
+			p.Label.Format(g.CondName), tr.Delay, len(tr.Violations))
+		for _, v := range tr.Violations {
+			fmt.Fprintf(out, "  violation: %s\n", v)
+		}
+		if *verbose {
+			printTrace(out, g, tr)
+		}
+	}
+	return nil
+}
+
+// parseConds parses "C=1,K=0" into a cube using the graph's condition names.
+func parseConds(g *cpg.Graph, spec string) (cond.Cube, error) {
+	label := cond.True()
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			return cond.Cube{}, fmt.Errorf("malformed condition assignment %q", part)
+		}
+		name := strings.TrimSpace(kv[0])
+		var id cond.Cond = cond.None
+		for _, cd := range g.Conditions() {
+			if cd.Name == name {
+				id = cd.ID
+			}
+		}
+		if id == cond.None {
+			return cond.Cube{}, fmt.Errorf("unknown condition %q", name)
+		}
+		val := strings.TrimSpace(kv[1])
+		var v bool
+		switch val {
+		case "1", "true", "T":
+			v = true
+		case "0", "false", "F":
+			v = false
+		default:
+			return cond.Cube{}, fmt.Errorf("malformed condition value %q", val)
+		}
+		var ok bool
+		label, ok = label.With(id, v)
+		if !ok {
+			return cond.Cube{}, fmt.Errorf("contradictory assignment for condition %q", name)
+		}
+	}
+	return label, nil
+}
+
+// printTrace prints one execution trace ordered by activation time.
+func printTrace(out io.Writer, g *cpg.Graph, tr *sim.Trace) {
+	type line struct {
+		name       string
+		start, end int64
+	}
+	var lines []line
+	for k, s := range tr.Start {
+		name := k.String()
+		if k.IsCond {
+			name = "broadcast " + g.CondName(k.Cond)
+		} else if p := g.Process(k.Proc); p != nil {
+			name = p.Name
+		}
+		lines = append(lines, line{name: name, start: s, end: tr.End[k]})
+	}
+	sort.Slice(lines, func(i, j int) bool {
+		if lines[i].start != lines[j].start {
+			return lines[i].start < lines[j].start
+		}
+		return lines[i].name < lines[j].name
+	})
+	for _, l := range lines {
+		fmt.Fprintf(out, "  %6d .. %6d  %s\n", l.start, l.end, l.name)
+	}
+}

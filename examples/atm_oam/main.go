@@ -1,0 +1,51 @@
+// ATM OAM example (Table 2 of the paper): the three operation modes of the
+// OAM block of an ATM switch are scheduled on every architecture alternative
+// considered in the paper (one or two 486/Pentium processors, one or two
+// memory modules) and the worst-case delays are compared, reproducing the
+// design-space exploration of section 6.
+//
+// Run with:
+//
+//	go run ./examples/atm_oam
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/atm"
+	"repro/internal/core"
+	"repro/internal/expr"
+)
+
+func main() {
+	res, err := expr.RunTable2(core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(expr.RenderTable2(res))
+
+	// Spell out the conclusions the paper draws from Table 2.
+	find := func(mode atm.Mode) expr.Table2Row {
+		for _, row := range res.Rows {
+			if row.Mode == mode {
+				return row
+			}
+		}
+		log.Fatalf("mode %d missing", mode)
+		return expr.Table2Row{}
+	}
+	m1, m2, m3 := find(atm.Mode1), find(atm.Mode2), find(atm.Mode3)
+
+	fmt.Println("observations (compare with the discussion of Table 2 in the paper):")
+	fmt.Printf("  mode 2 gains nothing from a second processor: 1P=%d vs 2P=%d\n",
+		m2.Delays["1P/1M 486"], m2.Delays["2P/1M 2x486"])
+	fmt.Printf("  mode 3 gains from a second 486 (%d -> %d) but not from a second Pentium (%d -> %d)\n",
+		m3.Delays["1P/1M 486"], m3.Delays["2P/1M 2x486"],
+		m3.Delays["1P/1M Pentium"], m3.Delays["2P/1M 2xPentium"])
+	fmt.Printf("  mode 1 always gains from a second processor (486: %d -> %d, Pentium: %d -> %d)\n",
+		m1.Delays["1P/1M 486"], m1.Delays["2P/1M 2x486"],
+		m1.Delays["1P/1M Pentium"], m1.Delays["2P/1M 2xPentium"])
+	fmt.Printf("  a second memory module pays off only for two Pentiums in mode 1: %d -> %d\n",
+		m1.Delays["2P/1M 2xPentium"], m1.Delays["2P/2M 2xPentium"])
+}

@@ -1,0 +1,481 @@
+// Package atm models the real-life example of the paper: the operation and
+// maintenance (OAM) functions of the F4 level of the ATM protocol layer,
+// implemented by an OAM block consisting of one or two processors and one or
+// two memory modules (Fig. 7 and Table 2 of the paper).
+//
+// The original VHDL process graphs are not publicly available, so the three
+// operation modes are rebuilt as synthetic conditional process graphs with
+// the published sizes (32/23/42 processes, 6/3/8 alternative paths) and a
+// parallelism profile that matches the paper's findings:
+//
+//   - mode 2 has no potential parallelism (a pure chain of processes);
+//   - mode 3 contains one parallel branch whose off-loading to a second
+//     processor pays off for the slower 486 processor but not for the faster
+//     Pentium (the fixed communication cost dominates);
+//   - mode 1 contains two parallel branches and memory accesses that can be
+//     executed in parallel, so a second processor always helps and a second
+//     memory module pays off only when both processors are fast.
+//
+// Execution times are expressed in nanoseconds for a 486DX2-80; the
+// Pentium-120 is modelled as a processor with a higher speed factor.
+// Communication and memory access times are independent of processor speed.
+package atm
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/cpg"
+)
+
+// Mode identifies one of the three OAM operation modes.
+type Mode int
+
+const (
+	// Mode1 handles the performance-monitoring traffic of the OAM block.
+	Mode1 Mode = 1
+	// Mode2 handles fault-management cells; it has no internal parallelism.
+	Mode2 Mode = 2
+	// Mode3 handles activation/deactivation traffic; it contains one
+	// off-loadable branch.
+	Mode3 Mode = 3
+)
+
+// ProcessorType describes one processor model of Table 2.
+type ProcessorType struct {
+	Name string
+	// Speed is the speed factor relative to the 486DX2-80.
+	Speed float64
+}
+
+// The two processor models used in the paper.
+var (
+	I486    = ProcessorType{Name: "486", Speed: 1.0}
+	Pentium = ProcessorType{Name: "Pentium", Speed: 1.6}
+)
+
+// ArchConfig is one column of Table 2: one or two processors and one or two
+// memory modules.
+type ArchConfig struct {
+	Processors []ProcessorType
+	Memories   int
+}
+
+// Label renders the configuration like the paper's column heads
+// ("1P/1M 486", "2P/2M 486+Pentium").
+func (c ArchConfig) Label() string {
+	names := ""
+	if len(c.Processors) == 2 && c.Processors[0].Name == c.Processors[1].Name {
+		names = "2x" + c.Processors[0].Name
+	} else {
+		for i, p := range c.Processors {
+			if i > 0 {
+				names += "+"
+			}
+			names += p.Name
+		}
+	}
+	return fmt.Sprintf("%dP/%dM %s", len(c.Processors), c.Memories, names)
+}
+
+// StandardConfigs returns the ten architecture configurations of Table 2 in
+// the paper's column order.
+func StandardConfigs() []ArchConfig {
+	return []ArchConfig{
+		{Processors: []ProcessorType{I486}, Memories: 1},
+		{Processors: []ProcessorType{Pentium}, Memories: 1},
+		{Processors: []ProcessorType{I486}, Memories: 2},
+		{Processors: []ProcessorType{Pentium}, Memories: 2},
+		{Processors: []ProcessorType{I486, I486}, Memories: 1},
+		{Processors: []ProcessorType{Pentium, Pentium}, Memories: 1},
+		{Processors: []ProcessorType{I486, Pentium}, Memories: 1},
+		{Processors: []ProcessorType{I486, I486}, Memories: 2},
+		{Processors: []ProcessorType{Pentium, Pentium}, Memories: 2},
+		{Processors: []ProcessorType{I486, Pentium}, Memories: 2},
+	}
+}
+
+// Mapping selects how the mode's processes are assigned to the processors of
+// a two-processor configuration.
+type Mapping int
+
+const (
+	// MapAllFirst keeps every process on the first processor.
+	MapAllFirst Mapping = iota
+	// MapAllSecond keeps every process on the second processor.
+	MapAllSecond
+	// MapSplit assigns the off-loadable branch (or the second parallel
+	// branch) to the second processor.
+	MapSplit
+	// MapSplitSwapped is MapSplit with the two processors exchanged.
+	MapSplitSwapped
+)
+
+// String names the mapping.
+func (m Mapping) String() string {
+	switch m {
+	case MapAllFirst:
+		return "all-on-first"
+	case MapAllSecond:
+		return "all-on-second"
+	case MapSplit:
+		return "split"
+	case MapSplitSwapped:
+		return "split-swapped"
+	default:
+		return fmt.Sprintf("mapping(%d)", int(m))
+	}
+}
+
+// CondTime is τ0 for the OAM architectures, in nanoseconds.
+const CondTime = 10
+
+// CommTime is the time of one inter-processor transfer for modes 1 and 2, in
+// nanoseconds. Mode 3 moves larger activation/deactivation records between
+// processors, see Mode3CommTime.
+const CommTime = 200
+
+// Mode3CommTime is the inter-processor transfer time of mode 3: the
+// off-loadable branch works on large records, so moving it to a second
+// processor is expensive.
+const Mode3CommTime = 850
+
+// MemTime is the duration of one shared-memory access, in nanoseconds.
+const MemTime = 300
+
+// builder assembles one mode graph on one architecture configuration.
+type builder struct {
+	g        *cpg.Graph
+	a        *arch.Architecture
+	procs    []arch.PEID // processors, in config order
+	mems     []arch.PEID
+	bus      arch.PEID
+	mapping  Mapping
+	commTime int64
+	count    int
+}
+
+func newBuilder(mode Mode, cfg ArchConfig, mapping Mapping) *builder {
+	a := arch.New()
+	b := &builder{a: a, mapping: mapping, commTime: CommTime}
+	if mode == Mode3 {
+		b.commTime = Mode3CommTime
+	}
+	for i, p := range cfg.Processors {
+		b.procs = append(b.procs, a.AddProcessor(fmt.Sprintf("%s-%d", p.Name, i+1), p.Speed))
+	}
+	b.bus = a.AddBus("bus", true)
+	for i := 0; i < cfg.Memories; i++ {
+		b.mems = append(b.mems, a.AddMemory(fmt.Sprintf("mem%d", i+1)))
+	}
+	a.SetCondTime(CondTime)
+	b.g = cpg.New(fmt.Sprintf("oam-mode%d", int(mode)))
+	return b
+}
+
+// pe returns the processing element for a process assigned to logical lane
+// "lane" (0 = main lane, 1 = off-loaded lane).
+func (b *builder) pe(lane int) arch.PEID {
+	switch b.mapping {
+	case MapAllSecond:
+		if len(b.procs) > 1 {
+			return b.procs[1]
+		}
+		return b.procs[0]
+	case MapSplit:
+		if lane == 1 && len(b.procs) > 1 {
+			return b.procs[1]
+		}
+		return b.procs[0]
+	case MapSplitSwapped:
+		if len(b.procs) > 1 {
+			if lane == 1 {
+				return b.procs[0]
+			}
+			return b.procs[1]
+		}
+		return b.procs[0]
+	default:
+		return b.procs[0]
+	}
+}
+
+// mem returns the memory module for a memory access issued by lane.
+func (b *builder) mem(lane int) arch.PEID {
+	if len(b.mems) == 0 {
+		return arch.NoPE
+	}
+	return b.mems[lane%len(b.mems)]
+}
+
+// proc adds one ordinary process with base execution time exec on lane.
+func (b *builder) proc(exec int64, lane int) cpg.ProcID {
+	b.count++
+	return b.g.AddProcess(fmt.Sprintf("p%d", b.count), exec, b.pe(lane))
+}
+
+// chain adds a chain of processes after from and returns the last one.
+func (b *builder) chain(from cpg.ProcID, execs []int64, lane int) cpg.ProcID {
+	cur := from
+	for _, e := range execs {
+		p := b.proc(e, lane)
+		if cur != cpg.NoProc {
+			b.g.AddEdge(cur, p)
+		}
+		cur = p
+	}
+	return cur
+}
+
+// memAccess adds a shared-memory access after from, issued by lane.
+func (b *builder) memAccess(from cpg.ProcID, lane int) cpg.ProcID {
+	m := b.g.AddComm(fmt.Sprintf("mem_acc%d", b.count), MemTime, b.mem(lane))
+	b.g.AddEdge(from, m)
+	return m
+}
+
+// condBlock adds a two-way condition block after from: the decider, one
+// process on each branch (with the given base times) and a join.
+func (b *builder) condBlock(from cpg.ProcID, deciderExec int64, branchTrue, branchFalse []int64, lane int) cpg.ProcID {
+	d := b.proc(deciderExec, lane)
+	b.g.AddEdge(from, d)
+	c := b.g.AddCondition("", d)
+	tEnd := cpg.NoProc
+	fEnd := cpg.NoProc
+	for i, execs := range [][]int64{branchTrue, branchFalse} {
+		first := b.proc(execs[0], lane)
+		b.g.AddCondEdge(d, first, c, i == 0)
+		end := b.chain(first, execs[1:], lane)
+		if i == 0 {
+			tEnd = end
+		} else {
+			fEnd = end
+		}
+	}
+	j := b.proc(40, lane)
+	b.g.AddEdge(tEnd, j)
+	b.g.AddEdge(fEnd, j)
+	return j
+}
+
+// finish inserts the communication processes and finalizes the graph.
+func (b *builder) finish() (*cpg.Graph, *arch.Architecture, error) {
+	planner := func(g *cpg.Graph, e *cpg.Edge) (cpg.CommSpec, bool) {
+		return cpg.CommSpec{Time: b.commTime, Bus: b.bus}, true
+	}
+	if _, err := cpg.InsertComms(b.g, b.a, planner); err != nil {
+		return nil, nil, err
+	}
+	if err := b.g.Finalize(b.a); err != nil {
+		return nil, nil, err
+	}
+	return b.g, b.a, nil
+}
+
+// Build constructs the conditional process graph of one mode on one
+// architecture configuration with one mapping choice.
+func Build(mode Mode, cfg ArchConfig, mapping Mapping) (*cpg.Graph, *arch.Architecture, error) {
+	if len(cfg.Processors) == 0 || len(cfg.Processors) > 2 {
+		return nil, nil, fmt.Errorf("atm: unsupported number of processors %d", len(cfg.Processors))
+	}
+	if cfg.Memories < 1 || cfg.Memories > 2 {
+		return nil, nil, fmt.Errorf("atm: unsupported number of memory modules %d", cfg.Memories)
+	}
+	b := newBuilder(mode, cfg, mapping)
+	switch mode {
+	case Mode1:
+		b.buildMode1()
+	case Mode2:
+		b.buildMode2()
+	case Mode3:
+		b.buildMode3()
+	default:
+		return nil, nil, fmt.Errorf("atm: unknown mode %d", int(mode))
+	}
+	return b.finish()
+}
+
+// cond3Block adds a three-alternative condition region after from: an outer
+// condition whose true branch is a single process and whose false branch
+// contains a nested two-way condition block, followed by a common join.
+// It adds 7 ordinary processes and contributes a factor of 3 to the number of
+// alternative paths.
+func (b *builder) cond3Block(from cpg.ProcID, lane int) cpg.ProcID {
+	d1 := b.proc(70, lane)
+	b.g.AddEdge(from, d1)
+	c1 := b.g.AddCondition("", d1)
+	t1 := b.proc(120, lane)
+	b.g.AddCondEdge(d1, t1, c1, true)
+	f1 := b.proc(60, lane)
+	b.g.AddCondEdge(d1, f1, c1, false)
+	fEnd := b.condBlock(f1, 60, []int64{150}, []int64{110}, lane)
+	join := b.proc(50, lane)
+	b.g.AddEdge(t1, join)
+	b.g.AddEdge(fEnd, join)
+	return join
+}
+
+// buildMode1 creates the performance-monitoring mode: 32 processes, 6
+// alternative paths (a 2-way and a 3-way condition region), two parallel
+// branches each issuing a shared-memory access. The pre-access computation of
+// the two branches is sized so that on 486 processors the accesses never
+// overlap while on two Pentium processors they do, which is why a second
+// memory module pays off only in the 2×Pentium configuration.
+func (b *builder) buildMode1() {
+	// Prefix chain: 5 processes.
+	cur := b.chain(cpg.NoProc, []int64{90, 110, 80, 100, 120}, 0)
+	// First condition region (2 alternatives, 4 processes).
+	cur = b.condBlock(cur, 80, []int64{140}, []int64{90}, 0)
+	// Fork into two parallel branches.
+	fork := b.proc(60, 0)
+	b.g.AddEdge(cur, fork)
+	// Branch A (critical): 6 processes with a memory access in the middle.
+	a1 := b.chain(fork, []int64{310, 300, 300}, 0)
+	am := b.memAccess(a1, 0)
+	a2 := b.proc(180, 0)
+	b.g.AddEdge(am, a2)
+	aEnd := b.chain(a2, []int64{160, 150}, 0)
+	// Branch B (off-loadable): 5 processes with a memory access.
+	b1 := b.chain(fork, []int64{170, 140}, 1)
+	bm := b.memAccess(b1, 1)
+	b2 := b.proc(150, 1)
+	b.g.AddEdge(bm, b2)
+	bEnd := b.chain(b2, []int64{130, 120}, 1)
+	// Join.
+	join := b.proc(50, 0)
+	b.g.AddEdge(aEnd, join)
+	b.g.AddEdge(bEnd, join)
+	// Second condition region (3 alternatives, 7 processes).
+	cur = b.cond3Block(join, 0)
+	// Suffix: 2 processes.
+	b.chain(cur, []int64{90, 80}, 0)
+}
+
+// buildMode2 creates the fault-management mode: 23 processes with no
+// potential parallelism (every process depends on the previous one) and 3
+// alternative paths from a nested pair of conditions.
+func (b *builder) buildMode2() {
+	// Prefix chain: 8 processes.
+	cur := b.chain(cpg.NoProc, []int64{70, 90, 60, 110, 80, 70, 100, 60}, 0)
+	// Outer condition.
+	d1 := b.proc(80, 0)
+	b.g.AddEdge(cur, d1)
+	c1 := b.g.AddCondition("", d1)
+	// True branch: 3 processes, a nested two-way condition (5 processes)
+	// and its join.
+	t1 := b.proc(120, 0)
+	b.g.AddCondEdge(d1, t1, c1, true)
+	t3 := b.chain(t1, []int64{90, 100}, 0)
+	d2 := b.proc(70, 0)
+	b.g.AddEdge(t3, d2)
+	c2 := b.g.AddCondition("", d2)
+	tt1 := b.proc(150, 0)
+	b.g.AddCondEdge(d2, tt1, c2, true)
+	ttEnd := b.chain(tt1, []int64{110}, 0)
+	tf1 := b.proc(80, 0)
+	b.g.AddCondEdge(d2, tf1, c2, false)
+	tfEnd := b.chain(tf1, []int64{90}, 0)
+	j2 := b.proc(60, 0)
+	b.g.AddEdge(ttEnd, j2)
+	b.g.AddEdge(tfEnd, j2)
+	// False branch of the outer condition: 2 processes.
+	f1 := b.proc(130, 0)
+	b.g.AddCondEdge(d1, f1, c1, false)
+	fEnd := b.chain(f1, []int64{100}, 0)
+	// Join and suffix.
+	j1 := b.proc(70, 0)
+	b.g.AddEdge(j2, j1)
+	b.g.AddEdge(fEnd, j1)
+	b.chain(j1, []int64{90, 100}, 0)
+}
+
+// buildMode3 creates the activation/deactivation mode: 42 processes, 8
+// alternative paths (three 2-way conditions) and one off-loadable branch
+// whose large inter-processor transfers make off-loading worthwhile only for
+// the slower 486 processor.
+func (b *builder) buildMode3() {
+	// Prefix chain: 9 processes.
+	cur := b.chain(cpg.NoProc, []int64{150, 140, 160, 130, 150, 140, 130, 120, 110}, 0)
+	// First condition block (4 processes).
+	cur = b.condBlock(cur, 90, []int64{160}, []int64{120}, 0)
+	// Fork into the off-loadable region.
+	fork := b.proc(60, 0)
+	b.g.AddEdge(cur, fork)
+	// Main branch: 7 processes, ~2600 ns on a 486.
+	mEnd := b.chain(fork, []int64{380, 370, 380, 370, 370, 370, 360}, 0)
+	// Off-loadable branch: 3 processes, ~820 ns on a 486.
+	oEnd := b.chain(fork, []int64{280, 270, 270}, 1)
+	join := b.proc(50, 0)
+	b.g.AddEdge(mEnd, join)
+	b.g.AddEdge(oEnd, join)
+	// Second and third condition blocks (8 processes).
+	cur = b.condBlock(join, 80, []int64{170}, []int64{130}, 0)
+	cur = b.condBlock(cur, 70, []int64{150}, []int64{110}, 0)
+	// Suffix chain: 9 processes.
+	b.chain(cur, []int64{140, 130, 150, 120, 110, 130, 140, 120, 110}, 0)
+}
+
+// Evaluation is the result of scheduling one mode on one configuration.
+type Evaluation struct {
+	Mode   Mode
+	Config ArchConfig
+	// Mapping is the process-to-processor assignment that produced the
+	// smallest worst-case delay.
+	Mapping Mapping
+	// Delay is the worst-case delay δmax of the generated schedule table.
+	Delay int64
+	// Result is the full scheduling result for the chosen mapping.
+	Result *core.Result
+}
+
+// Evaluate builds the mode graph for every sensible mapping on the given
+// configuration, generates the schedule table for each and returns the
+// mapping with the smallest worst-case delay (this mirrors the paper, where
+// processes were assigned to processors "taking into consideration the
+// potential parallelism").
+func Evaluate(mode Mode, cfg ArchConfig, opts core.Options) (*Evaluation, error) {
+	mappings := []Mapping{MapAllFirst}
+	if len(cfg.Processors) == 2 {
+		mappings = append(mappings, MapAllSecond, MapSplit, MapSplitSwapped)
+	}
+	var best *Evaluation
+	for _, m := range mappings {
+		g, a, err := Build(mode, cfg, m)
+		if err != nil {
+			return nil, err
+		}
+		res, err := core.Schedule(g, a, opts)
+		if err != nil {
+			return nil, fmt.Errorf("atm: mode %d, config %s, mapping %s: %w", int(mode), cfg.Label(), m, err)
+		}
+		if best == nil || res.DeltaMax < best.Delay {
+			best = &Evaluation{Mode: mode, Config: cfg, Mapping: m, Delay: res.DeltaMax, Result: res}
+		}
+	}
+	return best, nil
+}
+
+// ProcessCount returns the number of ordinary processes of a mode graph
+// (Table 2, column "nr. proc").
+func ProcessCount(mode Mode) (int, error) {
+	g, _, err := Build(mode, ArchConfig{Processors: []ProcessorType{I486}, Memories: 1}, MapAllFirst)
+	if err != nil {
+		return 0, err
+	}
+	return g.NumOrdinary(), nil
+}
+
+// PathCount returns the number of alternative paths of a mode graph
+// (Table 2, column "nr. paths").
+func PathCount(mode Mode) (int, error) {
+	g, _, err := Build(mode, ArchConfig{Processors: []ProcessorType{I486}, Memories: 1}, MapAllFirst)
+	if err != nil {
+		return 0, err
+	}
+	paths, err := g.AlternativePaths(0)
+	if err != nil {
+		return 0, err
+	}
+	return len(paths), nil
+}

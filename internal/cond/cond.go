@@ -1,0 +1,305 @@
+// Package cond implements the boolean condition algebra used by conditional
+// process graphs: condition identifiers, literals, conjunctions of literals
+// (cubes) and disjunctive normal forms (guards).
+//
+// A condition is a boolean value computed at run time by a disjunction
+// process. A cube assigns a value to a subset of the conditions and stands
+// for the conjunction of the corresponding literals; the empty cube is the
+// constant true. Guards of processes and labels of alternative paths are
+// represented as cubes or as small DNFs (disjunctions of cubes).
+//
+// All values are immutable: every operation returns a new value and never
+// modifies its receiver or arguments.
+package cond
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Cond identifies a condition within a graph. Conditions are small
+// non-negative integers handed out by the graph builder.
+type Cond int
+
+// None is the sentinel for "no condition".
+const None Cond = -1
+
+// Lit is a single condition literal: the condition Cond with value Val.
+type Lit struct {
+	Cond Cond
+	Val  bool
+}
+
+// String renders the literal as "c3" or "!c3".
+func (l Lit) String() string {
+	if l.Val {
+		return fmt.Sprintf("c%d", int(l.Cond))
+	}
+	return fmt.Sprintf("!c%d", int(l.Cond))
+}
+
+// Negate returns the literal with the opposite value.
+func (l Lit) Negate() Lit { return Lit{Cond: l.Cond, Val: !l.Val} }
+
+// Namer translates a condition identifier into a human readable name.
+// A nil Namer falls back to "c<id>".
+type Namer func(Cond) string
+
+func defaultName(c Cond) string { return fmt.Sprintf("c%d", int(c)) }
+
+func nameOf(n Namer, c Cond) string {
+	if n == nil {
+		return defaultName(c)
+	}
+	s := n(c)
+	if s == "" {
+		return defaultName(c)
+	}
+	return s
+}
+
+// Cube is a conjunction of condition literals. The zero value is the constant
+// true (the empty conjunction). Cubes are immutable.
+type Cube struct {
+	m map[Cond]bool
+}
+
+// True returns the empty cube (constant true).
+func True() Cube { return Cube{} }
+
+// NewCube builds a cube from the given literals. The second return value is
+// false when two literals assign opposite values to the same condition, in
+// which case the conjunction is unsatisfiable.
+func NewCube(lits ...Lit) (Cube, bool) {
+	c := Cube{}
+	ok := true
+	for _, l := range lits {
+		c, ok = c.With(l.Cond, l.Val)
+		if !ok {
+			return Cube{}, false
+		}
+	}
+	return c, true
+}
+
+// MustCube is like NewCube but panics on an unsatisfiable conjunction. It is
+// intended for tests and literal construction of known-consistent cubes.
+func MustCube(lits ...Lit) Cube {
+	c, ok := NewCube(lits...)
+	if !ok {
+		panic("cond: MustCube called with contradictory literals")
+	}
+	return c
+}
+
+// IsTrue reports whether the cube is the empty conjunction.
+func (c Cube) IsTrue() bool { return len(c.m) == 0 }
+
+// Len returns the number of literals in the cube.
+func (c Cube) Len() int { return len(c.m) }
+
+// Value returns the value assigned to condition x and whether x appears in
+// the cube.
+func (c Cube) Value(x Cond) (bool, bool) {
+	v, ok := c.m[x]
+	return v, ok
+}
+
+// Has reports whether condition x appears in the cube.
+func (c Cube) Has(x Cond) bool {
+	_, ok := c.m[x]
+	return ok
+}
+
+func (c Cube) clone() Cube {
+	if len(c.m) == 0 {
+		return Cube{}
+	}
+	m := make(map[Cond]bool, len(c.m))
+	for k, v := range c.m {
+		m[k] = v
+	}
+	return Cube{m: m}
+}
+
+// With returns a copy of the cube extended with the literal (x, v). The
+// second return value is false when the cube already assigns the opposite
+// value to x.
+func (c Cube) With(x Cond, v bool) (Cube, bool) {
+	if old, ok := c.m[x]; ok {
+		if old != v {
+			return Cube{}, false
+		}
+		return c, true
+	}
+	n := c.clone()
+	if n.m == nil {
+		n.m = make(map[Cond]bool, 1)
+	}
+	n.m[x] = v
+	return n, true
+}
+
+// MustWith is like With but panics on contradiction.
+func (c Cube) MustWith(x Cond, v bool) Cube {
+	n, ok := c.With(x, v)
+	if !ok {
+		panic(fmt.Sprintf("cond: MustWith(%d,%v) contradicts existing literal", int(x), v))
+	}
+	return n
+}
+
+// Without returns a copy of the cube with condition x removed.
+func (c Cube) Without(x Cond) Cube {
+	if !c.Has(x) {
+		return c
+	}
+	n := c.clone()
+	delete(n.m, x)
+	return n
+}
+
+// And returns the conjunction of two cubes. The second return value is false
+// when the conjunction is unsatisfiable.
+func (c Cube) And(o Cube) (Cube, bool) {
+	if len(c.m) < len(o.m) {
+		c, o = o, c
+	}
+	n := c
+	ok := true
+	for k, v := range o.m {
+		n, ok = n.With(k, v)
+		if !ok {
+			return Cube{}, false
+		}
+	}
+	return n, true
+}
+
+// Compatible reports whether the conjunction of the two cubes is satisfiable,
+// i.e. no condition appears with opposite values.
+func (c Cube) Compatible(o Cube) bool {
+	small, big := c, o
+	if len(small.m) > len(big.m) {
+		small, big = big, small
+	}
+	for k, v := range small.m {
+		if w, ok := big.m[k]; ok && w != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Implies reports whether c logically implies o, i.e. every literal of o
+// appears in c with the same value.
+func (c Cube) Implies(o Cube) bool {
+	for k, v := range o.m {
+		w, ok := c.m[k]
+		if !ok || w != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether the two cubes contain exactly the same literals.
+func (c Cube) Equal(o Cube) bool {
+	if len(c.m) != len(o.m) {
+		return false
+	}
+	for k, v := range c.m {
+		if w, ok := o.m[k]; !ok || w != v {
+			return false
+		}
+	}
+	return true
+}
+
+// CondsSubsetOf reports whether every condition mentioned by c is also
+// mentioned by o (regardless of values).
+func (c Cube) CondsSubsetOf(o Cube) bool {
+	for k := range c.m {
+		if _, ok := o.m[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Conds returns the conditions mentioned by the cube in ascending order.
+func (c Cube) Conds() []Cond {
+	out := make([]Cond, 0, len(c.m))
+	for k := range c.m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Lits returns the literals of the cube ordered by condition.
+func (c Cube) Lits() []Lit {
+	conds := c.Conds()
+	out := make([]Lit, 0, len(conds))
+	for _, k := range conds {
+		out = append(out, Lit{Cond: k, Val: c.m[k]})
+	}
+	return out
+}
+
+// Key returns a canonical string usable as a map key for the cube.
+func (c Cube) Key() string {
+	if c.IsTrue() {
+		return "1"
+	}
+	var b strings.Builder
+	for i, l := range c.Lits() {
+		if i > 0 {
+			b.WriteByte('.')
+		}
+		b.WriteString(l.String())
+	}
+	return b.String()
+}
+
+// String renders the cube with default condition names ("true" for the empty
+// cube, "c0&!c1" otherwise).
+func (c Cube) String() string { return c.Format(nil) }
+
+// Format renders the cube using the given Namer, joining literals with the
+// unicode conjunction sign used by the paper's tables.
+func (c Cube) Format(n Namer) string {
+	if c.IsTrue() {
+		return "true"
+	}
+	parts := make([]string, 0, len(c.m))
+	for _, l := range c.Lits() {
+		name := nameOf(n, l.Cond)
+		if l.Val {
+			parts = append(parts, name)
+		} else {
+			parts = append(parts, "!"+name)
+		}
+	}
+	return strings.Join(parts, "&")
+}
+
+// Compare orders cubes first by number of literals, then lexicographically by
+// (condition, value). It returns a negative number, zero or a positive number
+// as c sorts before, equal to or after o. It is used for stable table layout.
+func (c Cube) Compare(o Cube) int {
+	a, b := c.Lits(), o.Lits()
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i].Cond != b[i].Cond {
+			return int(a[i].Cond) - int(b[i].Cond)
+		}
+		if a[i].Val != b[i].Val {
+			if a[i].Val {
+				return -1
+			}
+			return 1
+		}
+	}
+	return len(a) - len(b)
+}

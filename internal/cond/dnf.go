@@ -1,0 +1,268 @@
+package cond
+
+import (
+	"sort"
+	"strings"
+)
+
+// DNF is a disjunction of cubes. It is the representation used for process
+// guards: a process guard is satisfied on an alternative path when at least
+// one of its cubes is implied by the path label.
+//
+// The zero value is the constant false (empty disjunction). Use DNFTrue for
+// the constant true. DNFs are immutable.
+type DNF struct {
+	cubes []Cube
+}
+
+// DNFFalse returns the constant false guard.
+func DNFFalse() DNF { return DNF{} }
+
+// DNFTrue returns the constant true guard (a single empty cube).
+func DNFTrue() DNF { return DNF{cubes: []Cube{True()}} }
+
+// FromCube returns a DNF consisting of the single cube c.
+func FromCube(c Cube) DNF { return DNF{cubes: []Cube{c}} }
+
+// FromCubes returns a simplified DNF over the given cubes.
+func FromCubes(cubes ...Cube) DNF {
+	d := DNF{cubes: append([]Cube(nil), cubes...)}
+	return d.Simplify()
+}
+
+// IsFalse reports whether the DNF is the empty disjunction.
+func (d DNF) IsFalse() bool { return len(d.cubes) == 0 }
+
+// IsTrue reports whether the DNF contains the empty cube.
+func (d DNF) IsTrue() bool {
+	for _, c := range d.cubes {
+		if c.IsTrue() {
+			return true
+		}
+	}
+	return false
+}
+
+// Cubes returns a copy of the cubes of the DNF.
+func (d DNF) Cubes() []Cube { return append([]Cube(nil), d.cubes...) }
+
+// Len returns the number of cubes.
+func (d DNF) Len() int { return len(d.cubes) }
+
+// Or returns the disjunction of two DNFs, simplified.
+func (d DNF) Or(o DNF) DNF {
+	n := DNF{cubes: append(append([]Cube(nil), d.cubes...), o.cubes...)}
+	return n.Simplify()
+}
+
+// OrCube returns the disjunction of the DNF with a single cube, simplified.
+func (d DNF) OrCube(c Cube) DNF { return d.Or(FromCube(c)) }
+
+// And returns the conjunction of two DNFs, simplified. Unsatisfiable product
+// cubes are dropped.
+func (d DNF) And(o DNF) DNF {
+	var out []Cube
+	for _, a := range d.cubes {
+		for _, b := range o.cubes {
+			if p, ok := a.And(b); ok {
+				out = append(out, p)
+			}
+		}
+	}
+	return DNF{cubes: out}.Simplify()
+}
+
+// AndCube returns the conjunction of the DNF with a single cube.
+func (d DNF) AndCube(c Cube) DNF { return d.And(FromCube(c)) }
+
+// Conds returns the set of conditions mentioned anywhere in the DNF, sorted.
+func (d DNF) Conds() []Cond {
+	set := map[Cond]bool{}
+	for _, c := range d.cubes {
+		for _, k := range c.Conds() {
+			set[k] = true
+		}
+	}
+	out := make([]Cond, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SatisfiedBy reports whether the (possibly partial) assignment assign makes
+// the DNF true, i.e. some cube of the DNF is implied by assign. Conditions
+// not mentioned by assign count as unknown, so a cube that mentions such a
+// condition is not satisfied.
+func (d DNF) SatisfiedBy(assign Cube) bool {
+	for _, c := range d.cubes {
+		if assign.Implies(c) {
+			return true
+		}
+	}
+	return false
+}
+
+// FalsifiedBy reports whether the assignment makes the DNF definitely false:
+// every cube contains a literal contradicted by assign.
+func (d DNF) FalsifiedBy(assign Cube) bool {
+	if d.IsFalse() {
+		return true
+	}
+	for _, c := range d.cubes {
+		if assign.Compatible(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// SatisfiedCube returns the first cube implied by assign, if any.
+func (d DNF) SatisfiedCube(assign Cube) (Cube, bool) {
+	for _, c := range d.cubes {
+		if assign.Implies(c) {
+			return c, true
+		}
+	}
+	return Cube{}, false
+}
+
+// Simplify removes subsumed cubes and merges pairs of cubes that differ in
+// exactly one literal (the consensus rule restricted to adjacent cubes, which
+// is sufficient for the guards produced by conditional process graphs). The
+// result is logically equivalent to the input.
+func (d DNF) Simplify() DNF {
+	cubes := append([]Cube(nil), d.cubes...)
+	changed := true
+	for changed {
+		changed = false
+		// Merge cubes differing in exactly one literal.
+	merge:
+		for i := 0; i < len(cubes); i++ {
+			for j := i + 1; j < len(cubes); j++ {
+				if m, ok := mergeAdjacent(cubes[i], cubes[j]); ok {
+					cubes[i] = m
+					cubes = append(cubes[:j], cubes[j+1:]...)
+					changed = true
+					break merge
+				}
+			}
+		}
+		// Drop cubes subsumed by another cube (a implies b means a is
+		// more specific; it is subsumed by b).
+		out := cubes[:0:0]
+		for i, a := range cubes {
+			subsumed := false
+			for j, b := range cubes {
+				if i == j {
+					continue
+				}
+				if a.Implies(b) && !(b.Implies(a) && j > i) {
+					// a is subsumed by b; keep only the first of equal cubes.
+					if !a.Equal(b) || j < i {
+						subsumed = true
+						break
+					}
+				}
+			}
+			if !subsumed {
+				out = append(out, a)
+			}
+		}
+		if len(out) != len(cubes) {
+			changed = true
+		}
+		cubes = out
+	}
+	sort.Slice(cubes, func(i, j int) bool { return cubes[i].Compare(cubes[j]) < 0 })
+	return DNF{cubes: cubes}
+}
+
+// mergeAdjacent merges two cubes that mention exactly the same conditions and
+// differ in the value of exactly one of them, returning the cube without that
+// condition.
+func mergeAdjacent(a, b Cube) (Cube, bool) {
+	if a.Len() != b.Len() || a.Len() == 0 {
+		return Cube{}, false
+	}
+	if !a.CondsSubsetOf(b) {
+		return Cube{}, false
+	}
+	diff := None
+	for _, l := range a.Lits() {
+		bv, _ := b.Value(l.Cond)
+		if bv != l.Val {
+			if diff != None {
+				return Cube{}, false
+			}
+			diff = l.Cond
+		}
+	}
+	if diff == None {
+		// Identical cubes merge trivially.
+		return a, true
+	}
+	return a.Without(diff), true
+}
+
+// assignments enumerates all full assignments over the given conditions and
+// calls fn for each; fn returning false stops the enumeration early.
+func assignments(conds []Cond, fn func(Cube) bool) {
+	n := len(conds)
+	if n > 24 {
+		n = 24 // safety bound; CPGs never get close to this
+	}
+	total := 1 << uint(n)
+	for mask := 0; mask < total; mask++ {
+		c := True()
+		for i := 0; i < n; i++ {
+			c = c.MustWith(conds[i], mask&(1<<uint(i)) != 0)
+		}
+		if !fn(c) {
+			return
+		}
+	}
+}
+
+// Implies reports whether d logically implies o, checked by enumerating all
+// assignments over the union of mentioned conditions. Guards mention only a
+// handful of conditions, so the enumeration is cheap.
+func (d DNF) Implies(o DNF) bool {
+	condSet := map[Cond]bool{}
+	for _, c := range append(d.Conds(), o.Conds()...) {
+		condSet[c] = true
+	}
+	conds := make([]Cond, 0, len(condSet))
+	for c := range condSet {
+		conds = append(conds, c)
+	}
+	sort.Slice(conds, func(i, j int) bool { return conds[i] < conds[j] })
+	ok := true
+	assignments(conds, func(a Cube) bool {
+		if d.SatisfiedBy(a) && !o.SatisfiedBy(a) {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// Equivalent reports whether the two DNFs denote the same boolean function.
+func (d DNF) Equivalent(o DNF) bool { return d.Implies(o) && o.Implies(d) }
+
+// String renders the DNF with default condition names.
+func (d DNF) String() string { return d.Format(nil) }
+
+// Format renders the DNF using the given Namer.
+func (d DNF) Format(n Namer) string {
+	if d.IsFalse() {
+		return "false"
+	}
+	parts := make([]string, 0, len(d.cubes))
+	for _, c := range d.cubes {
+		parts = append(parts, c.Format(n))
+	}
+	return strings.Join(parts, " | ")
+}

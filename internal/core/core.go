@@ -1,0 +1,585 @@
+// Package core implements the schedule-table generation algorithm of the
+// paper (section 5): the schedules of the alternative paths through a
+// conditional process graph are merged into a single schedule table by
+// walking the binary decision tree of condition values depth-first.
+//
+// The algorithm follows the rules of section 5.1:
+//
+//  1. start times are fixed in the table according, with priority, to the
+//     schedule of the reachable path with the largest delay;
+//  2. a start time is placed in the column headed by the conjunction of all
+//     condition values known, at that time, on the processing element that
+//     executes the process (according to the current schedule);
+//  3. when a new path is selected after a back-step, its schedule is adjusted
+//     by locking the processes whose activation time is already fixed in a
+//     column that depends only on conditions decided before the branching
+//     node; the other processes are rescheduled keeping their relative order;
+//  4. conflicts with requirement 2 (two compatible columns with different
+//     activation times for the same process) are resolved by moving the
+//     process to one of the previously fixed activation times (Theorem 2) and
+//     readjusting the schedule.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/cond"
+	"repro/internal/cpg"
+	"repro/internal/listsched"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/table"
+)
+
+// PathSelection chooses which reachable path the merging algorithm follows
+// after a back-step. The paper always follows the largest-delay path; the
+// other policies exist for ablation experiments.
+type PathSelection int
+
+const (
+	// SelectLargestDelay follows the reachable path with the largest
+	// optimal delay (the paper's rule).
+	SelectLargestDelay PathSelection = iota
+	// SelectSmallestDelay follows the reachable path with the smallest
+	// optimal delay (ablation).
+	SelectSmallestDelay
+	// SelectFirst follows the first reachable path in enumeration order
+	// (ablation).
+	SelectFirst
+)
+
+// String returns the name of the selection policy.
+func (s PathSelection) String() string {
+	switch s {
+	case SelectLargestDelay:
+		return "largest-delay"
+	case SelectSmallestDelay:
+		return "smallest-delay"
+	case SelectFirst:
+		return "first"
+	default:
+		return fmt.Sprintf("selection(%d)", int(s))
+	}
+}
+
+// ConflictPolicy chooses how requirement-2 conflicts are resolved.
+type ConflictPolicy int
+
+const (
+	// ConflictMoveToExisting applies Theorem 2: the process is moved to one
+	// of the previously fixed activation times that removes every conflict.
+	ConflictMoveToExisting ConflictPolicy = iota
+	// ConflictDelayToLatest delays the process to the latest conflicting
+	// activation time (naive baseline used for ablation).
+	ConflictDelayToLatest
+)
+
+// String returns the name of the conflict policy.
+func (c ConflictPolicy) String() string {
+	switch c {
+	case ConflictMoveToExisting:
+		return "move-to-existing"
+	case ConflictDelayToLatest:
+		return "delay-to-latest"
+	default:
+		return fmt.Sprintf("conflict(%d)", int(c))
+	}
+}
+
+// Options configures the table generation.
+type Options struct {
+	// PathPriority is the list-scheduling priority used for the optimal
+	// schedule of each alternative path (critical path by default).
+	PathPriority listsched.Priority
+	// PathSelection is the rule used to pick the current schedule after a
+	// back-step (largest delay by default, as in the paper).
+	PathSelection PathSelection
+	// ConflictPolicy selects the conflict resolution strategy.
+	ConflictPolicy ConflictPolicy
+	// MaxPaths bounds the number of alternative paths (0 = default bound).
+	MaxPaths int
+}
+
+// Stats summarises the work done by the merging algorithm.
+type Stats struct {
+	Paths               int
+	BackSteps           int
+	SegmentsPlaced      int
+	Conflicts           int
+	ConflictsResolved   int
+	UnresolvedConflicts int
+	Locks               int
+	LockViolations      int
+	Columns             int
+	Entries             int
+	// PathSchedulingTime is the wall-clock time spent scheduling the
+	// individual alternative paths (the figure of section 6 that quotes
+	// "less than 0.003 seconds" per graph).
+	PathSchedulingTime time.Duration
+	// MergeTime is the wall-clock time of the schedule merging itself
+	// (Fig. 6 of the paper).
+	MergeTime time.Duration
+	// ValidationTime is the wall-clock time spent validating the table and
+	// re-enacting every path.
+	ValidationTime time.Duration
+}
+
+// PathResult pairs a path label with its optimal delay and the delay obtained
+// when executing the generated schedule table on that path.
+type PathResult struct {
+	Label        cond.Cube
+	OptimalDelay int64
+	TableDelay   int64
+}
+
+// Result is the outcome of the table generation.
+type Result struct {
+	Graph *cpg.Graph
+	Arch  *arch.Architecture
+	Table *table.Table
+	// Paths lists every alternative path with optimal and table delays.
+	Paths []PathResult
+	// Schedules are the optimal per-path schedules (same order as Paths).
+	Schedules []*sched.PathSchedule
+	// DeltaM is the largest optimal path delay (the lower bound of the
+	// worst-case delay).
+	DeltaM int64
+	// DeltaMax is the worst-case delay of the generated table.
+	DeltaMax int64
+	// Violations collects the findings of the structural table validation
+	// and of the execution simulator; an empty slice means the table is
+	// logically and temporally deterministic.
+	TableViolations []table.Violation
+	SimViolations   []sim.Violation
+	Stats           Stats
+}
+
+// IncreasePercent returns 100*(δmax-δM)/δM, the metric of Fig. 5.
+func (r *Result) IncreasePercent() float64 {
+	if r.DeltaM == 0 {
+		return 0
+	}
+	return 100 * float64(r.DeltaMax-r.DeltaM) / float64(r.DeltaM)
+}
+
+// Deterministic reports whether no violation was found.
+func (r *Result) Deterministic() bool {
+	return len(r.TableViolations) == 0 && len(r.SimViolations) == 0
+}
+
+// RowName renders a row key with the process and condition names of the
+// graph, for use with table.RenderOptions.
+func (r *Result) RowName(k sched.Key) string {
+	if k.IsCond {
+		return r.Graph.CondName(k.Cond)
+	}
+	return r.Graph.Process(k.Proc).Name
+}
+
+// pathInfo carries the per-path data used during merging.
+type pathInfo struct {
+	index   int
+	path    *cpg.Path
+	sub     *cpg.Subgraph
+	optimal *sched.PathSchedule
+	order   map[sched.Key]int64
+}
+
+type merger struct {
+	g     *cpg.Graph
+	a     *arch.Architecture
+	opt   Options
+	tbl   *table.Table
+	paths []*pathInfo
+	stats Stats
+	steps int
+}
+
+// Schedule generates the schedule table for the graph on the given
+// architecture and evaluates it (δM, δmax, validation).
+func Schedule(g *cpg.Graph, a *arch.Architecture, opt Options) (*Result, error) {
+	if g == nil || a == nil {
+		return nil, errors.New("core: nil graph or architecture")
+	}
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	if !g.Finalized() {
+		if err := g.Finalize(a); err != nil {
+			return nil, err
+		}
+	}
+	paths, err := g.AlternativePaths(opt.MaxPaths)
+	if err != nil {
+		return nil, err
+	}
+	m := &merger{g: g, a: a, opt: opt, tbl: table.New()}
+	var deltaM int64
+	schedules := make([]*sched.PathSchedule, 0, len(paths))
+	tPathSched := time.Now()
+	for i, p := range paths {
+		sub := g.Subgraph(p)
+		ps, _, err := listsched.Schedule(sub, a, listsched.Options{Priority: opt.PathPriority})
+		if err != nil {
+			return nil, fmt.Errorf("core: scheduling path %s: %w", p.Label.Format(g.CondName), err)
+		}
+		order := map[sched.Key]int64{}
+		for _, e := range ps.Entries() {
+			order[e.Key] = e.Start
+		}
+		m.paths = append(m.paths, &pathInfo{index: i, path: p, sub: sub, optimal: ps, order: order})
+		schedules = append(schedules, ps)
+		if ps.Delay > deltaM {
+			deltaM = ps.Delay
+		}
+	}
+	m.stats.Paths = len(paths)
+	m.stats.PathSchedulingTime = time.Since(tPathSched)
+
+	// Merge.
+	tMerge := time.Now()
+	start := m.selectPath(cond.True())
+	if start == nil {
+		return nil, errors.New("core: no alternative path found")
+	}
+	if err := m.explore(start, start.optimal.Clone(), map[sched.Key]listsched.Lock{}, cond.True()); err != nil {
+		return nil, err
+	}
+	m.stats.MergeTime = time.Since(tMerge)
+	m.stats.Columns = len(m.tbl.Columns())
+	m.stats.Entries = m.tbl.NumEntries()
+
+	// Evaluate the table.
+	res := &Result{
+		Graph:     g,
+		Arch:      a,
+		Table:     m.tbl,
+		Schedules: schedules,
+		DeltaM:    deltaM,
+		Stats:     m.stats,
+	}
+	tValidate := time.Now()
+	res.TableViolations = m.tbl.Validate(g, paths)
+	simRes, err := sim.WorstCase(g, a, m.tbl, paths)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.ValidationTime = time.Since(tValidate)
+	res.DeltaMax = simRes.DeltaMax
+	res.SimViolations = simRes.Violations
+	for i, p := range paths {
+		res.Paths = append(res.Paths, PathResult{
+			Label:        p.Label,
+			OptimalDelay: schedules[i].Delay,
+			TableDelay:   simRes.Traces[i].Delay,
+		})
+	}
+	return res, nil
+}
+
+// selectPath picks, among the paths reachable from the decision-tree node
+// described by decided, the one the merging follows next.
+func (m *merger) selectPath(decided cond.Cube) *pathInfo {
+	var candidates []*pathInfo
+	for _, pi := range m.paths {
+		if pi.path.Label.Implies(decided) {
+			candidates = append(candidates, pi)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	switch m.opt.PathSelection {
+	case SelectFirst:
+		return candidates[0]
+	case SelectSmallestDelay:
+		best := candidates[0]
+		for _, c := range candidates[1:] {
+			if c.optimal.Delay < best.optimal.Delay {
+				best = c
+			}
+		}
+		return best
+	default:
+		best := candidates[0]
+		for _, c := range candidates[1:] {
+			if c.optimal.Delay > best.optimal.Delay {
+				best = c
+			}
+		}
+		return best
+	}
+}
+
+// deriveLocks applies rule 3 of section 5.1: every activity of the new path
+// whose activation time is already fixed in a column that mentions only
+// conditions decided before the branching node (and is consistent with their
+// values) keeps that activation time.
+func (m *merger) deriveLocks(pi *pathInfo, decided cond.Cube) map[sched.Key]listsched.Lock {
+	locks := map[sched.Key]listsched.Lock{}
+	for _, key := range m.tbl.Keys() {
+		if key.IsCond {
+			def := m.g.Condition(key.Cond)
+			if def == nil || !pi.path.IsActive(def.Decider) {
+				continue
+			}
+		} else if !pi.path.IsActive(key.Proc) {
+			continue
+		}
+		for _, e := range m.tbl.Row(key) {
+			if !e.Expr.CondsSubsetOf(decided) || !e.Expr.Compatible(decided) {
+				continue
+			}
+			lock := listsched.Lock{Start: e.Start, Bus: arch.NoPE}
+			if key.IsCond {
+				if ct, ok := pi.optimal.Cond(key.Cond); ok && ct.Bus != arch.NoPE {
+					lock.Bus = ct.Bus
+				} else if bb := m.a.BroadcastBuses(); len(bb) > 0 {
+					lock.Bus = bb[0]
+				}
+			}
+			locks[key] = lock
+			m.stats.Locks++
+			break
+		}
+	}
+	return locks
+}
+
+// reschedule produces the adjusted schedule of a path: locked activities stay
+// at their fixed activation times, the other activities are rescheduled to
+// their earliest allowed moment keeping the relative priorities of the
+// original (optimal) schedule.
+func (m *merger) reschedule(pi *pathInfo, locks map[sched.Key]listsched.Lock) (*sched.PathSchedule, error) {
+	ps, diag, err := listsched.Schedule(pi.sub, m.a, listsched.Options{
+		Priority: listsched.PriorityFixedOrder,
+		Order:    pi.order,
+		Locked:   locks,
+	})
+	if err != nil {
+		return nil, err
+	}
+	m.stats.LockViolations += len(diag.LockViolations)
+	return ps, nil
+}
+
+// lockFor converts a schedule entry into a lock at its current start time.
+func lockFor(e sched.Entry) listsched.Lock {
+	l := listsched.Lock{Start: e.Start, Bus: arch.NoPE}
+	if e.Key.IsCond {
+		l.Bus = e.PE
+	}
+	return l
+}
+
+// explore walks the decision tree along the current schedule cur of path pi,
+// with the condition values in decided already fixed. fixed accumulates the
+// activation times of cur that are (or become) locked, so that conflict
+// readjustments keep everything already placed.
+func (m *merger) explore(pi *pathInfo, cur *sched.PathSchedule, fixed map[sched.Key]listsched.Lock, decided cond.Cube) error {
+	for {
+		m.steps++
+		if m.steps > 10000*(len(m.paths)+1) {
+			return errors.New("core: merging did not converge (safety bound exceeded)")
+		}
+		// Next condition decided along the current schedule.
+		var next *sched.CondTiming
+		for _, ct := range cur.Conds() {
+			if !decided.Has(ct.Cond) {
+				c := ct
+				next = &c
+				break
+			}
+		}
+		limit := int64(math.MaxInt64)
+		if next != nil {
+			limit = next.DecidedAt
+		}
+		changed, err := m.placeSegment(pi, &cur, fixed, limit)
+		if err != nil {
+			return err
+		}
+		if changed {
+			// The current schedule was readjusted; recompute the next
+			// decision point before continuing.
+			continue
+		}
+		if next == nil {
+			return nil // EndOfSchedule
+		}
+		// Continue along the current schedule (the branch whose condition
+		// value matches the current path).
+		d1 := decided.MustWith(next.Cond, next.Value)
+		if err := m.explore(pi, cur, fixed, d1); err != nil {
+			return err
+		}
+		// Back-step: take the opposite branch with a new current schedule.
+		d2 := decided.MustWith(next.Cond, !next.Value)
+		m.stats.BackSteps++
+		npi := m.selectPath(d2)
+		if npi == nil {
+			// No alternative path takes this branch (can happen only for
+			// inconsistent graphs); nothing to schedule.
+			return nil
+		}
+		nfixed := m.deriveLocks(npi, d2)
+		ncur, err := m.reschedule(npi, nfixed)
+		if err != nil {
+			return err
+		}
+		return m.explore(npi, ncur, nfixed, d2)
+	}
+}
+
+// placeSegment places into the table the activities of the current schedule
+// that start before limit. It returns changed == true when a conflict forced
+// a readjustment of the current schedule (in which case *curp points to the
+// new schedule and the caller restarts the segment).
+func (m *merger) placeSegment(pi *pathInfo, curp **sched.PathSchedule, fixed map[sched.Key]listsched.Lock, limit int64) (bool, error) {
+	cur := *curp
+	m.stats.SegmentsPlaced++
+	for _, e := range cur.Entries() {
+		if e.Start >= limit {
+			break
+		}
+		key := e.Key
+		if !key.IsCond {
+			if p := m.g.Process(key.Proc); p == nil || p.IsDummy() {
+				continue
+			}
+		}
+		// Column expression: conjunction of the condition values known at
+		// the activation time on the processing element executing the
+		// activity, according to the current schedule (rule 2).
+		expr := cur.KnownAt(e.PE, e.Start)
+
+		// Skip when an applicable entry with the same activation time is
+		// already in the table (the previously handled path fixed it).
+		if covered(m.tbl.Row(key), pi.path.Label, e.Start) {
+			fixed[key] = lockFor(e)
+			continue
+		}
+		conflicts := m.tbl.Conflicts(key, expr, e.Start)
+		if len(conflicts) == 0 {
+			if err := m.tbl.Place(key, expr, e.Start); err != nil {
+				return false, err
+			}
+			fixed[key] = lockFor(e)
+			continue
+		}
+		// Requirement-2 conflict: resolve it.
+		m.stats.Conflicts++
+		newStart, resolved := m.resolveConflict(pi, cur, key, e, conflicts)
+		if !resolved {
+			// Best effort: keep the activation time and record that the
+			// table is not fully deterministic; the validator will report
+			// the residual conflict.
+			m.stats.UnresolvedConflicts++
+			if err := m.tbl.Place(key, expr, e.Start); err != nil {
+				// An identical expression with a different time: force the
+				// earlier time to keep the table well-formed.
+				continue
+			}
+			fixed[key] = lockFor(e)
+			continue
+		}
+		m.stats.ConflictsResolved++
+		lock := lockFor(e)
+		lock.Start = newStart
+		fixed[key] = lock
+		ncur, err := m.reschedule(pi, fixed)
+		if err != nil {
+			return false, err
+		}
+		*curp = ncur
+		return true, nil
+	}
+	return false, nil
+}
+
+// covered reports whether the row already contains an entry that applies on
+// the given path with the given activation time.
+func covered(row []table.Entry, label cond.Cube, start int64) bool {
+	for _, e := range row {
+		if e.Start == start && label.Implies(e.Expr) {
+			return true
+		}
+	}
+	return false
+}
+
+// resolveConflict implements Theorem 2 (or the ablation policy): it returns a
+// previously fixed activation time to which the activity can be moved so that
+// every conflict disappears, subject to feasibility in the current schedule.
+func (m *merger) resolveConflict(pi *pathInfo, cur *sched.PathSchedule, key sched.Key, e sched.Entry, conflicts []table.Entry) (int64, bool) {
+	// Earliest feasible start of the activity in the current schedule
+	// (data dependencies and condition knowledge).
+	earliest := m.earliestFeasible(pi, cur, key, e)
+
+	candidateTimes := make([]int64, 0, len(conflicts))
+	seen := map[int64]bool{}
+	for _, c := range conflicts {
+		if !seen[c.Start] {
+			seen[c.Start] = true
+			candidateTimes = append(candidateTimes, c.Start)
+		}
+	}
+	sort.Slice(candidateTimes, func(i, j int) bool { return candidateTimes[i] < candidateTimes[j] })
+
+	if m.opt.ConflictPolicy == ConflictDelayToLatest {
+		latest := e.Start
+		for _, t := range candidateTimes {
+			if t > latest {
+				latest = t
+			}
+		}
+		if latest < earliest {
+			latest = earliest
+		}
+		return latest, true
+	}
+
+	for _, t := range candidateTimes {
+		if t < earliest {
+			continue
+		}
+		expr := cur.KnownAt(e.PE, t)
+		if len(m.tbl.Conflicts(key, expr, t)) == 0 {
+			return t, true
+		}
+	}
+	return 0, false
+}
+
+// earliestFeasible computes the earliest start allowed for an activity in the
+// current schedule considering active predecessors and condition knowledge.
+func (m *merger) earliestFeasible(pi *pathInfo, cur *sched.PathSchedule, key sched.Key, e sched.Entry) int64 {
+	if key.IsCond {
+		if ct, ok := cur.Cond(key.Cond); ok {
+			return ct.DecidedAt
+		}
+		return 0
+	}
+	var earliest int64
+	for _, q := range pi.sub.Preds(key.Proc) {
+		if qe, ok := cur.Entry(sched.ProcKey(q)); ok && qe.End > earliest {
+			earliest = qe.End
+		}
+	}
+	proc := m.g.Process(key.Proc)
+	if proc.PE != arch.NoPE {
+		if cube, ok := m.g.Guard(key.Proc).SatisfiedCube(pi.path.Label); ok {
+			for _, l := range cube.Lits() {
+				if at, ok := cur.KnownTime(l.Cond, proc.PE); ok && at > earliest {
+					earliest = at
+				}
+			}
+		}
+	}
+	return earliest
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/sched"
+)
+
+func TestDispatchSplitsTableByProcessingElement(t *testing.T) {
+	g, a := crossProblem(t)
+	res, err := Schedule(g, a, Options{})
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	tables := Dispatch(res)
+	if len(tables) < 3 {
+		t.Fatalf("expected dispatch tables for at least two processors and the bus, got %d", len(tables))
+	}
+	// Every non-dummy activity of the schedule table must appear in exactly
+	// one dispatch table, on its own processing element.
+	total := 0
+	for _, dt := range tables {
+		if a.PE(dt.PE) == nil {
+			t.Fatalf("dispatch table for unknown processing element %d", dt.PE)
+		}
+		for _, e := range dt.Entries {
+			total++
+			if !e.Activity.IsCond {
+				if got := g.Process(e.Activity.Proc).PE; got != dt.PE {
+					t.Fatalf("process %s dispatched on %d but mapped to %d", g.Process(e.Activity.Proc).Name, dt.PE, got)
+				}
+			} else if a.PE(dt.PE).Kind != arch.KindBus {
+				t.Fatalf("condition broadcast dispatched on non-bus element %v", a.PE(dt.PE).Name)
+			}
+		}
+		// Entries must be ordered by activation time.
+		for i := 1; i < len(dt.Entries); i++ {
+			if dt.Entries[i-1].Start > dt.Entries[i].Start {
+				t.Fatalf("dispatch entries not ordered by time on %v", dt.PE)
+			}
+		}
+	}
+	if total != res.Table.NumEntries() {
+		t.Fatalf("dispatch tables contain %d entries, schedule table has %d", total, res.Table.NumEntries())
+	}
+}
+
+func TestDispatchConditionsListed(t *testing.T) {
+	g, a := crossProblem(t)
+	res, err := Schedule(g, a, Options{})
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	tables := Dispatch(res)
+	// Every condition mentioned in a dispatch entry must be listed in the
+	// table's Conditions slice.
+	for _, dt := range tables {
+		listed := map[int]bool{}
+		for _, c := range dt.Conditions {
+			listed[int(c)] = true
+		}
+		for _, e := range dt.Entries {
+			for _, c := range e.When.Conds() {
+				if !listed[int(c)] {
+					t.Fatalf("condition %d used by an entry but not listed for element %d", c, dt.PE)
+				}
+			}
+		}
+	}
+}
+
+func TestRenderDispatch(t *testing.T) {
+	g, a := crossProblem(t)
+	res, err := Schedule(g, a, Options{})
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	out := RenderDispatch(res, Dispatch(res))
+	if !strings.Contains(out, "local scheduler on") || !strings.Contains(out, "activate") {
+		t.Fatalf("rendering unexpected:\n%s", out)
+	}
+	// The disjunction process D1 runs on the first processor and must be
+	// dispatched unconditionally at time 0.
+	if !strings.Contains(out, "activate D1") {
+		t.Fatalf("rendering missing D1:\n%s", out)
+	}
+	_ = sched.ProcKey(0)
+}

@@ -1,0 +1,116 @@
+package cpg
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+)
+
+// Metrics summarises the structure of a finalized conditional process graph;
+// it is used by the experiment reports and by the command line tools to
+// describe generated graphs (number of processes of each kind, conditions,
+// alternative paths, depth of the graph and an estimate of its parallelism).
+type Metrics struct {
+	Name string
+	// Ordinary, Comm and Total count processes (Total includes the dummy
+	// source and sink).
+	Ordinary int
+	Comm     int
+	Total    int
+	Edges    int
+	// Conditions is the number of conditions, Disjunctions/Conjunctions the
+	// number of disjunction and conjunction processes.
+	Conditions   int
+	Disjunctions int
+	Conjunctions int
+	// Paths is the number of alternative paths (0 when the enumeration was
+	// not requested or exceeded the bound).
+	Paths int
+	// Depth is the number of processes on the longest chain from source to
+	// sink (dummies excluded).
+	Depth int
+	// TotalWork is the sum of all execution times, CriticalWork the largest
+	// execution-time sum along a single chain; their ratio bounds the
+	// parallelism the architecture could exploit.
+	TotalWork    int64
+	CriticalWork int64
+	// PEUsage counts how many processes are mapped to each processing
+	// element.
+	PEUsage map[arch.PEID]int
+}
+
+// Parallelism returns TotalWork/CriticalWork (1 means a pure chain).
+func (m Metrics) Parallelism() float64 {
+	if m.CriticalWork == 0 {
+		return 1
+	}
+	return float64(m.TotalWork) / float64(m.CriticalWork)
+}
+
+// String renders a one-line summary.
+func (m Metrics) String() string {
+	return fmt.Sprintf("%s: %d processes (+%d comm), %d conditions, %d paths, depth %d, parallelism %.2f",
+		m.Name, m.Ordinary, m.Comm, m.Conditions, m.Paths, m.Depth, m.Parallelism())
+}
+
+// ComputeMetrics derives the metrics of a finalized graph. maxPaths bounds
+// the path enumeration (0 for the default bound); when the enumeration fails
+// the Paths field is left at zero and no error is reported.
+func (g *Graph) ComputeMetrics(maxPaths int) Metrics {
+	g.mustBeFinalized()
+	m := Metrics{Name: g.name, PEUsage: map[arch.PEID]int{}}
+	for _, p := range g.procs {
+		m.Total++
+		switch p.Kind {
+		case KindOrdinary:
+			m.Ordinary++
+		case KindComm:
+			m.Comm++
+		}
+		if !p.IsDummy() {
+			m.TotalWork += p.Exec
+			m.PEUsage[p.PE]++
+		}
+		if g.disjunction[p.ID] {
+			m.Disjunctions++
+		}
+		if g.conjunction[p.ID] {
+			m.Conjunctions++
+		}
+	}
+	m.Edges = len(g.edges)
+	m.Conditions = len(g.conds)
+	if paths, err := g.AlternativePaths(maxPaths); err == nil {
+		m.Paths = len(paths)
+	}
+	// Depth and critical work over the whole graph (every edge, regardless
+	// of conditions): longest chains from the source.
+	depth := make([]int, len(g.procs))
+	work := make([]int64, len(g.procs))
+	for _, p := range g.topo {
+		proc := g.procs[p]
+		d, w := 0, int64(0)
+		for _, eid := range g.in[p] {
+			from := g.edges[eid].From
+			if depth[from] > d {
+				d = depth[from]
+			}
+			if work[from] > w {
+				w = work[from]
+			}
+		}
+		depth[p] = d
+		work[p] = w
+		if !proc.IsDummy() {
+			depth[p]++
+			work[p] += proc.Exec
+		}
+		if depth[p] > m.Depth {
+			m.Depth = depth[p]
+		}
+		if work[p] > m.CriticalWork {
+			m.CriticalWork = work[p]
+		}
+	}
+	return m
+}

@@ -1,0 +1,94 @@
+package cpg
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cond"
+)
+
+func TestMetricsDiamond(t *testing.T) {
+	a := testArch()
+	g, ids, _ := diamond(t, a)
+	m := g.ComputeMetrics(0)
+	if m.Ordinary != 4 || m.Comm != 0 || m.Total != 6 {
+		t.Fatalf("process counts wrong: %+v", m)
+	}
+	if m.Conditions != 1 || m.Disjunctions != 1 || m.Conjunctions < 1 {
+		t.Fatalf("condition counts wrong: %+v", m)
+	}
+	if m.Paths != 2 {
+		t.Fatalf("paths = %d, want 2", m.Paths)
+	}
+	// Longest chain: P1 -> P3 -> P4 (3 processes), total work 2+3+4+1 = 10,
+	// critical work 2+4+1 = 7.
+	if m.Depth != 3 {
+		t.Fatalf("depth = %d, want 3", m.Depth)
+	}
+	if m.TotalWork != 10 || m.CriticalWork != 7 {
+		t.Fatalf("work = %d/%d, want 10/7", m.TotalWork, m.CriticalWork)
+	}
+	if m.Parallelism() <= 1 {
+		t.Fatalf("the diamond has some nominal parallelism, got %v", m.Parallelism())
+	}
+	if m.PEUsage[g.Process(ids["P1"]).PE] != 4 {
+		t.Fatalf("PE usage wrong: %+v", m.PEUsage)
+	}
+	if !strings.Contains(m.String(), "diamond") || !strings.Contains(m.String(), "2 paths") {
+		t.Fatalf("String() = %q", m.String())
+	}
+}
+
+func TestMetricsChainParallelismIsOne(t *testing.T) {
+	a := testArch()
+	pe := a.Processors()[0]
+	g := New("chain")
+	x := g.AddProcess("A", 5, pe)
+	y := g.AddProcess("B", 7, pe)
+	g.AddEdge(x, y)
+	if err := g.Finalize(a); err != nil {
+		t.Fatalf("Finalize: %v", err)
+	}
+	m := g.ComputeMetrics(0)
+	if m.Parallelism() != 1 {
+		t.Fatalf("a chain must have parallelism 1, got %v", m.Parallelism())
+	}
+	if m.Depth != 2 || m.TotalWork != 12 || m.CriticalWork != 12 {
+		t.Fatalf("chain metrics wrong: %+v", m)
+	}
+}
+
+func TestMetricsCountsCommProcesses(t *testing.T) {
+	a := testArch()
+	pe1, pe2 := a.Processors()[0], a.Processors()[1]
+	bus := a.Buses()[0]
+	g := New("comm-metrics")
+	x := g.AddProcess("X", 2, pe1)
+	y := g.AddProcess("Y", 3, pe2)
+	g.AddEdge(x, y)
+	if _, err := InsertComms(g, a, UniformComms(4, bus)); err != nil {
+		t.Fatalf("InsertComms: %v", err)
+	}
+	if err := g.Finalize(a); err != nil {
+		t.Fatalf("Finalize: %v", err)
+	}
+	m := g.ComputeMetrics(0)
+	if m.Comm != 1 {
+		t.Fatalf("comm count = %d, want 1", m.Comm)
+	}
+	// The transfer time counts towards the depth and the work.
+	if m.Depth != 3 || m.TotalWork != 9 || m.CriticalWork != 9 {
+		t.Fatalf("metrics with comm wrong: %+v", m)
+	}
+	if m.PEUsage[bus] != 1 {
+		t.Fatalf("bus usage missing: %+v", m.PEUsage)
+	}
+}
+
+func TestMetricsZeroValueParallelism(t *testing.T) {
+	m := Metrics{}
+	if m.Parallelism() != 1 {
+		t.Fatalf("zero-value metrics must report parallelism 1")
+	}
+	_ = cond.True()
+}

@@ -1,0 +1,237 @@
+package cpg
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cond"
+)
+
+// DefaultMaxPaths bounds the number of alternative paths enumerated by
+// AlternativePaths; the experiments of the paper use at most 32.
+const DefaultMaxPaths = 4096
+
+// Path describes one alternative path through the graph: the label Lk (a full
+// assignment of the conditions decided on the path) and the set of active
+// processes.
+type Path struct {
+	// Label is the conjunction of condition values that selects this path.
+	Label cond.Cube
+	// Active[p] reports whether process p executes on this path.
+	Active []bool
+}
+
+// ActiveCount returns the number of active processes on the path.
+func (p *Path) ActiveCount() int {
+	n := 0
+	for _, a := range p.Active {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+// IsActive reports whether process id executes on this path.
+func (p *Path) IsActive(id ProcID) bool {
+	return int(id) >= 0 && int(id) < len(p.Active) && p.Active[id]
+}
+
+// AlternativePaths enumerates every alternative path through the graph, in a
+// deterministic order (depth-first over condition identifiers, true branch
+// first). maxPaths bounds the enumeration; pass 0 for DefaultMaxPaths.
+func (g *Graph) AlternativePaths(maxPaths int) ([]*Path, error) {
+	g.mustBeFinalized()
+	if maxPaths <= 0 {
+		maxPaths = DefaultMaxPaths
+	}
+	var labels []cond.Cube
+	var rec func(assign cond.Cube) error
+	rec = func(assign cond.Cube) error {
+		if len(labels) > maxPaths {
+			return fmt.Errorf("cpg: more than %d alternative paths", maxPaths)
+		}
+		// Find the lowest-numbered condition whose disjunction process is
+		// active under the current partial assignment and which is not yet
+		// assigned.
+		next := cond.None
+		for _, cd := range g.conds {
+			if assign.Has(cd.ID) {
+				continue
+			}
+			if g.guards[cd.Decider].SatisfiedBy(assign) {
+				next = cd.ID
+				break
+			}
+		}
+		if next == cond.None {
+			labels = append(labels, assign)
+			if len(labels) > maxPaths {
+				return fmt.Errorf("cpg: more than %d alternative paths", maxPaths)
+			}
+			return nil
+		}
+		if err := rec(assign.MustWith(next, true)); err != nil {
+			return err
+		}
+		return rec(assign.MustWith(next, false))
+	}
+	if err := rec(cond.True()); err != nil {
+		return nil, err
+	}
+	paths := make([]*Path, 0, len(labels))
+	for _, l := range labels {
+		paths = append(paths, g.PathFor(l))
+	}
+	return paths, nil
+}
+
+// PathFor returns the path (active process set) selected by the given full
+// label. The label must assign a value to every condition whose disjunction
+// process is active under it.
+func (g *Graph) PathFor(label cond.Cube) *Path {
+	g.mustBeFinalized()
+	active := make([]bool, len(g.procs))
+	for _, p := range g.procs {
+		active[p.ID] = g.guards[p.ID].SatisfiedBy(label)
+	}
+	return &Path{Label: label, Active: active}
+}
+
+// Subgraph is the part of the graph active under one alternative path, with
+// adjacency restricted to active processes and edges.
+type Subgraph struct {
+	G          *Graph
+	Label      cond.Cube
+	active     []bool
+	activeEdge []bool
+	topo       []ProcID
+}
+
+// Subgraph extracts the active subgraph Gk for a path.
+func (g *Graph) Subgraph(p *Path) *Subgraph {
+	g.mustBeFinalized()
+	s := &Subgraph{G: g, Label: p.Label, active: append([]bool(nil), p.Active...)}
+	s.activeEdge = make([]bool, len(g.edges))
+	for _, e := range g.edges {
+		if !s.active[e.From] || !s.active[e.To] {
+			continue
+		}
+		if e.HasCond {
+			v, ok := p.Label.Value(e.Cond)
+			if !ok || v != e.CondVal {
+				continue
+			}
+		}
+		s.activeEdge[e.ID] = true
+	}
+	for _, id := range g.topo {
+		if s.active[id] {
+			s.topo = append(s.topo, id)
+		}
+	}
+	return s
+}
+
+// SubgraphFor is shorthand for Subgraph(PathFor(label)).
+func (g *Graph) SubgraphFor(label cond.Cube) *Subgraph {
+	return g.Subgraph(g.PathFor(label))
+}
+
+// Active reports whether process id executes on this path.
+func (s *Subgraph) Active(id ProcID) bool {
+	return int(id) >= 0 && int(id) < len(s.active) && s.active[id]
+}
+
+// ActiveEdge reports whether edge id transmits on this path.
+func (s *Subgraph) ActiveEdge(id EdgeID) bool {
+	return int(id) >= 0 && int(id) < len(s.activeEdge) && s.activeEdge[id]
+}
+
+// ActiveProcs returns the active processes in topological order.
+func (s *Subgraph) ActiveProcs() []ProcID { return append([]ProcID(nil), s.topo...) }
+
+// NumActive returns the number of active processes.
+func (s *Subgraph) NumActive() int { return len(s.topo) }
+
+// Preds returns the active predecessors of p (through active edges).
+func (s *Subgraph) Preds(p ProcID) []ProcID {
+	var out []ProcID
+	for _, eid := range s.G.in[p] {
+		if s.activeEdge[eid] {
+			out = append(out, s.G.edges[eid].From)
+		}
+	}
+	return out
+}
+
+// Succs returns the active successors of p (through active edges).
+func (s *Subgraph) Succs(p ProcID) []ProcID {
+	var out []ProcID
+	for _, eid := range s.G.out[p] {
+		if s.activeEdge[eid] {
+			out = append(out, s.G.edges[eid].To)
+		}
+	}
+	return out
+}
+
+// DecidedConds returns the conditions decided on this path (those whose
+// disjunction process is active), sorted by identifier.
+func (s *Subgraph) DecidedConds() []cond.Cond {
+	var out []cond.Cond
+	for _, cd := range s.G.conds {
+		if s.active[cd.Decider] {
+			out = append(out, cd.ID)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// CriticalPathLengths returns, for every active process, the length of the
+// longest chain of execution times from that process to the sink within the
+// subgraph. It is the priority function used by the list scheduler.
+func (s *Subgraph) CriticalPathLengths(exec func(ProcID) int64) map[ProcID]int64 {
+	cp := make(map[ProcID]int64, len(s.topo))
+	for i := len(s.topo) - 1; i >= 0; i-- {
+		p := s.topo[i]
+		best := int64(0)
+		for _, q := range s.Succs(p) {
+			if cp[q] > best {
+				best = cp[q]
+			}
+		}
+		cp[p] = best + exec(p)
+	}
+	return cp
+}
+
+// ValidatePaths enumerates the alternative paths and checks, for every path,
+// that every active non-source process has at least one active incoming edge
+// and that non-conjunction processes have all incoming edges active. It
+// returns the paths so callers can reuse the enumeration.
+func (g *Graph) ValidatePaths(maxPaths int) ([]*Path, error) {
+	paths, err := g.AlternativePaths(maxPaths)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range paths {
+		sub := g.Subgraph(p)
+		for _, id := range sub.ActiveProcs() {
+			if id == g.source {
+				continue
+			}
+			preds := sub.Preds(id)
+			if len(preds) == 0 {
+				return paths, fmt.Errorf("cpg: process %s is active on path %s but has no active predecessor (it would block)",
+					g.procs[id].Name, p.Label.Format(g.CondName))
+			}
+			if !g.conjunction[id] && len(preds) != len(g.in[id]) {
+				return paths, fmt.Errorf("cpg: non-conjunction process %s has an inactive predecessor on path %s",
+					g.procs[id].Name, p.Label.Format(g.CondName))
+			}
+		}
+	}
+	return paths, nil
+}

@@ -1,0 +1,68 @@
+package expr
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"time"
+)
+
+// WriteSweepCSV exports the cells of the Fig. 5 / Fig. 6 sweep as CSV, one
+// line per (graph size, path count) cell, so the figures can be re-plotted
+// with any external tool.
+func WriteSweepCSV(w io.Writer, cells []Cell) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"nodes", "paths", "graphs",
+		"avg_increase_pct", "max_increase_pct", "zero_fraction",
+		"avg_merge_ms", "avg_path_sched_ms", "violations",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, c := range cells {
+		rec := []string{
+			fmt.Sprintf("%d", c.Nodes),
+			fmt.Sprintf("%d", c.Paths),
+			fmt.Sprintf("%d", c.Graphs),
+			fmt.Sprintf("%.4f", c.AvgIncreasePct),
+			fmt.Sprintf("%.4f", c.MaxIncreasePct),
+			fmt.Sprintf("%.4f", c.ZeroFraction),
+			fmt.Sprintf("%.4f", float64(c.AvgMergeTime)/float64(time.Millisecond)),
+			fmt.Sprintf("%.4f", float64(c.AvgPathSchedTime)/float64(time.Millisecond)),
+			fmt.Sprintf("%d", c.Violations),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTable2CSV exports the OAM experiment as CSV, one line per mode and
+// architecture configuration.
+func WriteTable2CSV(w io.Writer, r *Table2Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"mode", "processes", "paths", "configuration", "worst_case_delay_ns", "mapping"}); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		for _, cfg := range r.Configs {
+			label := cfg.Label()
+			rec := []string{
+				fmt.Sprintf("%d", int(row.Mode)),
+				fmt.Sprintf("%d", row.Processes),
+				fmt.Sprintf("%d", row.Paths),
+				label,
+				fmt.Sprintf("%d", row.Delays[label]),
+				row.Mappings[label].String(),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,209 @@
+package expr
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/stats"
+)
+
+// SweepConfig parameterises the synthetic-graph experiment behind Fig. 5 and
+// Fig. 6 of the paper. The paper uses 1080 graphs: 360 per graph size (60, 80
+// and 120 nodes), spread over 10, 12, 18, 24 and 32 alternative paths, with
+// uniform and exponential execution times and architectures of one ASIC, one
+// to eleven processors and one to eight buses.
+type SweepConfig struct {
+	// Nodes are the graph sizes (default 60, 80, 120).
+	Nodes []int
+	// Paths are the numbers of alternative paths (default 10, 12, 18, 24, 32).
+	Paths []int
+	// GraphsPerCell is the number of graphs generated for every
+	// (size, paths) combination. The paper uses 72 (1080 graphs in total);
+	// the default here is smaller so the experiment finishes quickly, and
+	// the command line tool can request the full size.
+	GraphsPerCell int
+	// Seed makes the sweep reproducible.
+	Seed int64
+	// Options are passed to the table generation.
+	Options core.Options
+}
+
+// Normalize fills defaults.
+func (c SweepConfig) Normalize() SweepConfig {
+	if len(c.Nodes) == 0 {
+		c.Nodes = []int{60, 80, 120}
+	}
+	if len(c.Paths) == 0 {
+		c.Paths = []int{10, 12, 18, 24, 32}
+	}
+	if c.GraphsPerCell <= 0 {
+		c.GraphsPerCell = 4
+	}
+	if c.Seed == 0 {
+		c.Seed = 1998
+	}
+	return c
+}
+
+// PaperSweep returns the configuration of the full experiment of the paper
+// (1080 graphs).
+func PaperSweep() SweepConfig {
+	return SweepConfig{GraphsPerCell: 72}.Normalize()
+}
+
+// Cell aggregates the measurements of one (graph size, path count) cell of
+// the sweep; it carries both the Fig. 5 metric (increase of δmax over δM) and
+// the Fig. 6 metric (execution time of the schedule merging).
+type Cell struct {
+	Nodes  int
+	Paths  int
+	Graphs int
+	// AvgIncreasePct is the average of 100*(δmax-δM)/δM (Fig. 5).
+	AvgIncreasePct float64
+	// MaxIncreasePct is the worst observed increase.
+	MaxIncreasePct float64
+	// ZeroFraction is the fraction of graphs with δmax == δM (quoted in
+	// the text of section 6: 90%, 82%, 57%, 46%, 33%).
+	ZeroFraction float64
+	// AvgMergeTime is the average execution time of the schedule merging
+	// (Fig. 6).
+	AvgMergeTime time.Duration
+	// AvgPathSchedTime is the average time spent scheduling the individual
+	// paths of one graph (the "<0.003 s" figure of section 6).
+	AvgPathSchedTime time.Duration
+	// Violations counts graphs whose table failed validation (expected 0).
+	Violations int
+}
+
+// RunSweep generates the graphs of the sweep, produces a schedule table for
+// every graph and aggregates the per-cell statistics.
+func RunSweep(cfg SweepConfig) ([]Cell, error) {
+	cfg = cfg.Normalize()
+	r := rand.New(rand.NewSource(cfg.Seed))
+	increase := stats.NewSeries()
+	mergeTime := stats.NewSeries()
+	pathTime := stats.NewSeries()
+	violations := map[string]int{}
+	counts := map[string]int{}
+
+	for _, nodes := range cfg.Nodes {
+		for _, paths := range cfg.Paths {
+			key := stats.Key(nodes, paths)
+			for i := 0; i < cfg.GraphsPerCell; i++ {
+				inst, err := gen.Generate(gen.RandomConfig(r, nodes, paths))
+				if err != nil {
+					return nil, fmt.Errorf("expr: generating graph %d of cell %s: %w", i, key, err)
+				}
+				res, err := core.Schedule(inst.Graph, inst.Arch, cfg.Options)
+				if err != nil {
+					return nil, fmt.Errorf("expr: scheduling graph %d of cell %s: %w", i, key, err)
+				}
+				increase.Add(key, res.IncreasePercent())
+				mergeTime.Add(key, float64(res.Stats.MergeTime))
+				pathTime.Add(key, float64(res.Stats.PathSchedulingTime))
+				counts[key]++
+				if !res.Deterministic() {
+					violations[key]++
+				}
+			}
+		}
+	}
+
+	var cells []Cell
+	for _, nodes := range cfg.Nodes {
+		for _, paths := range cfg.Paths {
+			key := stats.Key(nodes, paths)
+			vals := increase.Values(key)
+			cells = append(cells, Cell{
+				Nodes:            nodes,
+				Paths:            paths,
+				Graphs:           counts[key],
+				AvgIncreasePct:   stats.Mean(vals),
+				MaxIncreasePct:   stats.Max(vals),
+				ZeroFraction:     stats.Fraction(vals, func(v float64) bool { return v == 0 }),
+				AvgMergeTime:     time.Duration(mergeTime.Mean(key)),
+				AvgPathSchedTime: time.Duration(pathTime.Mean(key)),
+				Violations:       violations[key],
+			})
+		}
+	}
+	return cells, nil
+}
+
+// RenderFig5 renders the increase of the worst-case delay over the longest
+// path delay, one line per path count and one column per graph size (the
+// series of Fig. 5), followed by the zero-increase fractions quoted in the
+// text of section 6.
+func RenderFig5(cells []Cell) string {
+	return renderSweep(cells, "Fig. 5: average increase of δmax over δM (%)",
+		func(c Cell) string { return fmt.Sprintf("%.2f", c.AvgIncreasePct) },
+		func(byPaths []Cell) string {
+			zeros, total := 0.0, 0.0
+			for _, c := range byPaths {
+				zeros += c.ZeroFraction * float64(c.Graphs)
+				total += float64(c.Graphs)
+			}
+			if total == 0 {
+				return "n/a"
+			}
+			return fmt.Sprintf("%.0f%%", 100*zeros/total)
+		})
+}
+
+// RenderFig6 renders the average execution time of the schedule merging per
+// cell (the series of Fig. 6).
+func RenderFig6(cells []Cell) string {
+	return renderSweep(cells, "Fig. 6: average execution time of the schedule merging",
+		func(c Cell) string { return fmt.Sprintf("%.3fms", float64(c.AvgMergeTime)/float64(time.Millisecond)) },
+		nil)
+}
+
+// renderSweep lays the cells out as a table with one row per path count and
+// one column per graph size.
+func renderSweep(cells []Cell, title string, format func(Cell) string, extra func([]Cell) string) string {
+	nodeSet := []int{}
+	pathSet := []int{}
+	seenN := map[int]bool{}
+	seenP := map[int]bool{}
+	byKey := map[string]Cell{}
+	for _, c := range cells {
+		if !seenN[c.Nodes] {
+			seenN[c.Nodes] = true
+			nodeSet = append(nodeSet, c.Nodes)
+		}
+		if !seenP[c.Paths] {
+			seenP[c.Paths] = true
+			pathSet = append(pathSet, c.Paths)
+		}
+		byKey[stats.Key(c.Nodes, c.Paths)] = c
+	}
+	var b strings.Builder
+	b.WriteString(title)
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%-18s", "merged schedules")
+	for _, n := range nodeSet {
+		fmt.Fprintf(&b, " %14s", fmt.Sprintf("%d nodes", n))
+	}
+	if extra != nil {
+		fmt.Fprintf(&b, " %14s", "zero increase")
+	}
+	b.WriteByte('\n')
+	for _, p := range pathSet {
+		fmt.Fprintf(&b, "%-18d", p)
+		var row []Cell
+		for _, n := range nodeSet {
+			c := byKey[stats.Key(n, p)]
+			row = append(row, c)
+			fmt.Fprintf(&b, " %14s", format(c))
+		}
+		if extra != nil {
+			fmt.Fprintf(&b, " %14s", extra(row))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

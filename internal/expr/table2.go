@@ -1,0 +1,90 @@
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/atm"
+	"repro/internal/core"
+)
+
+// Table2Row is the result of one OAM operation mode over every architecture
+// configuration of Table 2 of the paper.
+type Table2Row struct {
+	Mode      atm.Mode
+	Processes int
+	Paths     int
+	// Delays maps the configuration label (see atm.ArchConfig.Label) to
+	// the worst-case delay in nanoseconds.
+	Delays map[string]int64
+	// Mappings records which process-to-processor assignment achieved the
+	// delay for each configuration.
+	Mappings map[string]atm.Mapping
+}
+
+// Table2Result is the whole experiment.
+type Table2Result struct {
+	Configs []atm.ArchConfig
+	Rows    []Table2Row
+}
+
+// RunTable2 evaluates the three OAM modes on every architecture configuration
+// of Table 2.
+func RunTable2(opts core.Options) (*Table2Result, error) {
+	res := &Table2Result{Configs: atm.StandardConfigs()}
+	for _, mode := range []atm.Mode{atm.Mode1, atm.Mode2, atm.Mode3} {
+		procs, err := atm.ProcessCount(mode)
+		if err != nil {
+			return nil, err
+		}
+		paths, err := atm.PathCount(mode)
+		if err != nil {
+			return nil, err
+		}
+		row := Table2Row{
+			Mode:      mode,
+			Processes: procs,
+			Paths:     paths,
+			Delays:    map[string]int64{},
+			Mappings:  map[string]atm.Mapping{},
+		}
+		for _, cfg := range res.Configs {
+			ev, err := atm.Evaluate(mode, cfg, opts)
+			if err != nil {
+				return nil, err
+			}
+			row.Delays[cfg.Label()] = ev.Delay
+			row.Mappings[cfg.Label()] = ev.Mapping
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// RenderTable2 lays the result out like Table 2 of the paper: one row per
+// mode, one column per architecture configuration.
+func RenderTable2(r *Table2Result) string {
+	var b strings.Builder
+	b.WriteString("Table 2: worst case delays for the OAM block (ns)\n")
+	fmt.Fprintf(&b, "%-5s %-6s %-6s", "mode", "procs", "paths")
+	for _, cfg := range r.Configs {
+		fmt.Fprintf(&b, " %18s", cfg.Label())
+	}
+	b.WriteByte('\n')
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-5d %-6d %-6d", int(row.Mode), row.Processes, row.Paths)
+		for _, cfg := range r.Configs {
+			fmt.Fprintf(&b, " %18d", row.Delays[cfg.Label()])
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("\nChosen mappings:\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "mode %d:", int(row.Mode))
+		for _, cfg := range r.Configs {
+			fmt.Fprintf(&b, " %s=%s", cfg.Label(), row.Mappings[cfg.Label()])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,357 @@
+// Package listsched implements the non-preemptive list scheduler used to
+// schedule one alternative path of a conditional process graph on the target
+// architecture (the algorithm referred to as [5] in the paper).
+//
+// The scheduler handles:
+//
+//   - fixed process-to-processing-element mapping (the mapping function M);
+//   - sequential resources (programmable processors, buses, memory modules)
+//     and parallel hardware processors;
+//   - communication processes occupying buses;
+//   - condition broadcasts: after a disjunction process terminates, the value
+//     of the condition is broadcast during τ0 time units on the first
+//     all-connecting bus that becomes available;
+//   - the knowledge constraint of requirement 4: a process whose guard
+//     depends on a condition cannot start on a processing element before the
+//     condition value is known there;
+//   - locked activation times, used by the merging algorithm to adjust the
+//     schedule of a path to activation times already fixed in the schedule
+//     table (rule 3 of section 5.1), and
+//   - two priority functions: longest remaining (critical) path, used for the
+//     optimal schedule of each path, and fixed order, used to keep the
+//     relative priorities of unlocked processes during adjustment.
+package listsched
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/arch"
+	"repro/internal/cond"
+	"repro/internal/cpg"
+	"repro/internal/sched"
+)
+
+// Priority selects the priority function of the list scheduler.
+type Priority int
+
+const (
+	// PriorityCriticalPath picks, among the ready processes, the one with
+	// the longest remaining execution-time chain to the sink.
+	PriorityCriticalPath Priority = iota
+	// PriorityFixedOrder picks ready processes in ascending order of a
+	// caller-supplied value (typically the start times of a previously
+	// computed schedule), which keeps relative priorities during schedule
+	// adjustment.
+	PriorityFixedOrder
+)
+
+// String returns the name of the priority function.
+func (p Priority) String() string {
+	switch p {
+	case PriorityCriticalPath:
+		return "critical-path"
+	case PriorityFixedOrder:
+		return "fixed-order"
+	default:
+		return fmt.Sprintf("priority(%d)", int(p))
+	}
+}
+
+// Lock fixes the activation time of an activity. For condition broadcasts the
+// bus carrying the broadcast is fixed too.
+type Lock struct {
+	Start int64
+	Bus   arch.PEID
+}
+
+// Options configures one scheduling run.
+type Options struct {
+	Priority Priority
+	// Order supplies the fixed-order priority values (smaller first). It is
+	// ignored by PriorityCriticalPath.
+	Order map[sched.Key]int64
+	// Locked fixes activation times of activities; locked activities are
+	// placed exactly at their lock time and other activities are scheduled
+	// around them.
+	Locked map[sched.Key]Lock
+}
+
+// LockViolation records a locked activation time that is not feasible with
+// respect to data dependencies (it should not happen for tables produced by
+// the merging algorithm; see Theorem 1 of the paper).
+type LockViolation struct {
+	Key      sched.Key
+	Locked   int64
+	Earliest int64
+}
+
+// Diagnostics reports anomalies of a scheduling run.
+type Diagnostics struct {
+	LockViolations   []LockViolation
+	ResourceOverlaps []arch.PEID
+}
+
+// OK reports whether the run produced no diagnostics.
+func (d *Diagnostics) OK() bool {
+	return len(d.LockViolations) == 0 && len(d.ResourceOverlaps) == 0
+}
+
+// Schedule builds a schedule for the active subgraph sub on architecture a.
+func Schedule(sub *cpg.Subgraph, a *arch.Architecture, opt Options) (*sched.PathSchedule, *Diagnostics, error) {
+	if sub == nil || a == nil {
+		return nil, nil, errors.New("listsched: nil subgraph or architecture")
+	}
+	g := sub.G
+	diag := &Diagnostics{}
+	ps := sched.NewPathSchedule(sub.Label)
+
+	active := sub.ActiveProcs()
+	if len(active) == 0 {
+		return ps, diag, nil
+	}
+
+	exec := func(p cpg.ProcID) int64 {
+		return a.EffectiveExec(g.Process(p).Exec, g.Process(p).PE)
+	}
+
+	// Priority values.
+	cp := sub.CriticalPathLengths(exec)
+	prio := func(p cpg.ProcID) float64 {
+		switch opt.Priority {
+		case PriorityFixedOrder:
+			if v, ok := opt.Order[sched.ProcKey(p)]; ok {
+				return float64(v)
+			}
+			// Fall back to critical path (negated so longer paths come
+			// first) for activities absent from the reference order.
+			return math.MaxFloat64/2 - float64(cp[p])
+		default:
+			// Larger critical path means higher priority; invert so that
+			// smaller values are picked first uniformly.
+			return -float64(cp[p])
+		}
+	}
+
+	// Per-sequential-resource timelines; locked activities reserve upfront.
+	timelines := map[arch.PEID]*sched.Timeline{}
+	timeline := func(pe arch.PEID) *sched.Timeline {
+		tl, ok := timelines[pe]
+		if !ok {
+			tl = &sched.Timeline{}
+			timelines[pe] = tl
+		}
+		return tl
+	}
+	for key, lock := range opt.Locked {
+		if key.IsCond {
+			if a.Valid(lock.Bus) && a.IsSequential(lock.Bus) {
+				timeline(lock.Bus).Reserve(lock.Start, a.CondTime)
+			}
+			continue
+		}
+		if !sub.Active(key.Proc) {
+			continue
+		}
+		p := g.Process(key.Proc)
+		if p == nil {
+			continue
+		}
+		if a.IsSequential(p.PE) {
+			timeline(p.PE).Reserve(lock.Start, exec(p.ID))
+		}
+	}
+
+	// Deciders of the conditions decided on this path.
+	deciders := map[cpg.ProcID][]*cpg.CondDef{}
+	for _, c := range sub.DecidedConds() {
+		def := g.Condition(c)
+		deciders[def.Decider] = append(deciders[def.Decider], def)
+	}
+	broadcastBuses := a.BroadcastBuses()
+	needBroadcast := len(a.ComputePEs()) > 1 && len(broadcastBuses) > 0
+
+	// guardCube[p] is the cube of the process guard satisfied by this path;
+	// the process may not start on its processing element before every
+	// condition of the cube is known there.
+	guardCube := map[cpg.ProcID]cond.Cube{}
+	for _, p := range active {
+		if c, ok := g.Guard(p).SatisfiedCube(sub.Label); ok {
+			guardCube[p] = c
+		} else {
+			guardCube[p] = cond.True()
+		}
+	}
+
+	// scheduleBroadcast places the broadcast of condition def after the
+	// decider terminated at decEnd.
+	scheduleBroadcast := func(def *cpg.CondDef, decEnd int64, deciderPE arch.PEID) {
+		value, _ := sub.Label.Value(def.ID)
+		key := sched.CondKey(def.ID)
+		if lock, ok := opt.Locked[key]; ok {
+			bus := lock.Bus
+			end := lock.Start + a.CondTime
+			if !a.Valid(bus) {
+				end = lock.Start
+			}
+			ps.Set(sched.Entry{Key: key, Start: lock.Start, End: end, PE: bus})
+			ps.SetCond(sched.CondTiming{
+				Cond: def.ID, Value: value,
+				DecidedAt: decEnd, DeciderPE: deciderPE,
+				BroadcastStart: lock.Start, BroadcastEnd: end, Bus: bus,
+			})
+			if lock.Start < decEnd {
+				diag.LockViolations = append(diag.LockViolations, LockViolation{Key: key, Locked: lock.Start, Earliest: decEnd})
+			}
+			return
+		}
+		if !needBroadcast {
+			ps.SetCond(sched.CondTiming{
+				Cond: def.ID, Value: value,
+				DecidedAt: decEnd, DeciderPE: deciderPE,
+				BroadcastStart: decEnd, BroadcastEnd: decEnd, Bus: arch.NoPE,
+			})
+			return
+		}
+		bestBus := broadcastBuses[0]
+		bestStart := int64(math.MaxInt64)
+		for _, b := range broadcastBuses {
+			s := timeline(b).EarliestFit(decEnd, a.CondTime)
+			if s < bestStart {
+				bestStart = s
+				bestBus = b
+			}
+		}
+		timeline(bestBus).Reserve(bestStart, a.CondTime)
+		end := bestStart + a.CondTime
+		ps.Set(sched.Entry{Key: key, Start: bestStart, End: end, PE: bestBus})
+		ps.SetCond(sched.CondTiming{
+			Cond: def.ID, Value: value,
+			DecidedAt: decEnd, DeciderPE: deciderPE,
+			BroadcastStart: bestStart, BroadcastEnd: end, Bus: bestBus,
+		})
+	}
+
+	// List scheduling: repeatedly pick the highest-priority process among
+	// those whose active predecessors are all scheduled.
+	remaining := map[cpg.ProcID]int{}
+	scheduled := map[cpg.ProcID]bool{}
+	endOf := map[cpg.ProcID]int64{}
+	for _, p := range active {
+		remaining[p] = len(sub.Preds(p))
+	}
+
+	readyList := func() []cpg.ProcID {
+		var out []cpg.ProcID
+		for _, p := range active {
+			if !scheduled[p] && remaining[p] == 0 {
+				out = append(out, p)
+			}
+		}
+		sort.Slice(out, func(i, j int) bool {
+			pi, pj := prio(out[i]), prio(out[j])
+			if pi != pj {
+				return pi < pj
+			}
+			return out[i] < out[j]
+		})
+		return out
+	}
+
+	for count := 0; count < len(active); count++ {
+		ready := readyList()
+		if len(ready) == 0 {
+			return nil, diag, fmt.Errorf("listsched: no ready process after scheduling %d of %d (cyclic or inconsistent subgraph)", count, len(active))
+		}
+		p := ready[0]
+		proc := g.Process(p)
+		dur := exec(p)
+
+		// Earliest start from data dependencies.
+		est := int64(0)
+		for _, q := range sub.Preds(p) {
+			if endOf[q] > est {
+				est = endOf[q]
+			}
+		}
+		// Knowledge constraint (requirement 4): the guard's conditions must
+		// be known on the processing element executing the process.
+		if proc.PE != arch.NoPE {
+			for _, l := range guardCube[p].Lits() {
+				if at, ok := ps.KnownTime(l.Cond, proc.PE); ok && at > est {
+					est = at
+				}
+			}
+		}
+
+		var start int64
+		if lock, locked := opt.Locked[sched.ProcKey(p)]; locked {
+			start = lock.Start
+			if est > start {
+				diag.LockViolations = append(diag.LockViolations, LockViolation{Key: sched.ProcKey(p), Locked: start, Earliest: est})
+				start = est
+			}
+		} else if a.IsSequential(proc.PE) {
+			start = timeline(proc.PE).EarliestFit(est, dur)
+			timeline(proc.PE).Reserve(start, dur)
+		} else {
+			start = est
+		}
+		end := start + dur
+		ps.Set(sched.Entry{Key: sched.ProcKey(p), Start: start, End: end, PE: proc.PE})
+		scheduled[p] = true
+		endOf[p] = end
+
+		// Broadcast the conditions this process decides.
+		for _, def := range deciders[p] {
+			scheduleBroadcast(def, end, proc.PE)
+		}
+
+		for _, q := range sub.Succs(p) {
+			remaining[q]--
+		}
+	}
+
+	// Delay is the activation time of the sink.
+	if e, ok := ps.Entry(sched.ProcKey(g.Sink())); ok {
+		ps.Delay = e.Start
+	} else {
+		var max int64
+		for _, e := range ps.Entries() {
+			if e.End > max {
+				max = e.End
+			}
+		}
+		ps.Delay = max
+	}
+
+	for pe, tl := range timelines {
+		if tl.Overlaps() {
+			diag.ResourceOverlaps = append(diag.ResourceOverlaps, pe)
+		}
+	}
+	sort.Slice(diag.ResourceOverlaps, func(i, j int) bool { return diag.ResourceOverlaps[i] < diag.ResourceOverlaps[j] })
+	return ps, diag, nil
+}
+
+// ScheduleAllPaths schedules every alternative path of the graph with the
+// critical-path priority and returns the schedules in path order together
+// with δM, the largest of the individual path delays.
+func ScheduleAllPaths(g *cpg.Graph, a *arch.Architecture, paths []*cpg.Path, opt Options) ([]*sched.PathSchedule, int64, error) {
+	var deltaM int64
+	out := make([]*sched.PathSchedule, 0, len(paths))
+	for _, p := range paths {
+		sub := g.Subgraph(p)
+		ps, _, err := Schedule(sub, a, opt)
+		if err != nil {
+			return nil, 0, fmt.Errorf("listsched: path %s: %w", p.Label, err)
+		}
+		if ps.Delay > deltaM {
+			deltaM = ps.Delay
+		}
+		out = append(out, ps)
+	}
+	return out, deltaM, nil
+}

@@ -1,0 +1,240 @@
+// Package sched defines the data structures shared by the list scheduler,
+// the schedule table and the merging algorithm: schedule keys (ordinary or
+// communication processes, and condition broadcasts), per-path schedules with
+// condition-availability information, and resource timelines.
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/cond"
+	"repro/internal/cpg"
+)
+
+// Key identifies a schedulable activity: either a process of the graph
+// (ordinary, communication, source or sink) or the broadcast of a condition
+// value after its disjunction process terminated.
+type Key struct {
+	// IsCond is true for condition broadcasts.
+	IsCond bool
+	// Proc is the process identifier (valid when !IsCond).
+	Proc cpg.ProcID
+	// Cond is the broadcast condition (valid when IsCond).
+	Cond cond.Cond
+}
+
+// ProcKey returns the key of a process.
+func ProcKey(p cpg.ProcID) Key { return Key{Proc: p, Cond: cond.None} }
+
+// CondKey returns the key of a condition broadcast.
+func CondKey(c cond.Cond) Key { return Key{IsCond: true, Proc: cpg.NoProc, Cond: c} }
+
+// String renders the key ("P12" or "bcast(c0)").
+func (k Key) String() string {
+	if k.IsCond {
+		return fmt.Sprintf("bcast(c%d)", int(k.Cond))
+	}
+	return fmt.Sprintf("proc(%d)", int(k.Proc))
+}
+
+// Less orders keys: processes by identifier first, then condition broadcasts
+// by condition identifier.
+func (k Key) Less(o Key) bool {
+	if k.IsCond != o.IsCond {
+		return !k.IsCond
+	}
+	if k.IsCond {
+		return k.Cond < o.Cond
+	}
+	return k.Proc < o.Proc
+}
+
+// Entry is one scheduled activity: the key, its start and end time, and the
+// processing element it occupies.
+type Entry struct {
+	Key   Key
+	Start int64
+	End   int64
+	PE    arch.PEID
+}
+
+// Duration returns the execution time of the entry.
+func (e Entry) Duration() int64 { return e.End - e.Start }
+
+// CondTiming records when a condition value becomes available during one
+// path schedule: the moment the disjunction process terminates (on the
+// processing element that executed it) and the broadcast interval on the bus.
+type CondTiming struct {
+	Cond cond.Cond
+	// Value of the condition on this path.
+	Value bool
+	// DecidedAt is the termination time of the disjunction process.
+	DecidedAt int64
+	// DeciderPE is the processing element that computed the condition.
+	DeciderPE arch.PEID
+	// BroadcastStart/BroadcastEnd delimit the broadcast on the bus; the
+	// value is known on every other processing element from BroadcastEnd.
+	BroadcastStart int64
+	BroadcastEnd   int64
+	// Bus is the bus carrying the broadcast (NoPE when the architecture
+	// has a single computation element and no broadcast is needed).
+	Bus arch.PEID
+}
+
+// PathSchedule is the (optimal or adjusted) schedule of one alternative path:
+// start and end times for every active process plus the condition broadcasts.
+type PathSchedule struct {
+	// Label is the path label Lk.
+	Label cond.Cube
+	// Delay is the activation time of the sink process (δk).
+	Delay int64
+
+	entries map[Key]Entry
+	conds   map[cond.Cond]CondTiming
+}
+
+// NewPathSchedule returns an empty schedule for the given path label.
+func NewPathSchedule(label cond.Cube) *PathSchedule {
+	return &PathSchedule{
+		Label:   label,
+		entries: map[Key]Entry{},
+		conds:   map[cond.Cond]CondTiming{},
+	}
+}
+
+// Set records (or replaces) the entry for a key.
+func (ps *PathSchedule) Set(e Entry) { ps.entries[e.Key] = e }
+
+// SetCond records the availability of a condition value.
+func (ps *PathSchedule) SetCond(t CondTiming) { ps.conds[t.Cond] = t }
+
+// Entry returns the entry for the key.
+func (ps *PathSchedule) Entry(k Key) (Entry, bool) {
+	e, ok := ps.entries[k]
+	return e, ok
+}
+
+// Cond returns the availability record of a condition.
+func (ps *PathSchedule) Cond(c cond.Cond) (CondTiming, bool) {
+	t, ok := ps.conds[c]
+	return t, ok
+}
+
+// Conds returns the availability records sorted by decision time (ties by
+// condition identifier). This is the order in which the decision tree of the
+// merging algorithm branches along this schedule.
+func (ps *PathSchedule) Conds() []CondTiming {
+	out := make([]CondTiming, 0, len(ps.conds))
+	for _, t := range ps.conds {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].DecidedAt != out[j].DecidedAt {
+			return out[i].DecidedAt < out[j].DecidedAt
+		}
+		return out[i].Cond < out[j].Cond
+	})
+	return out
+}
+
+// Entries returns all entries sorted by start time (ties by key).
+func (ps *PathSchedule) Entries() []Entry {
+	out := make([]Entry, 0, len(ps.entries))
+	for _, e := range ps.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].Key.Less(out[j].Key)
+	})
+	return out
+}
+
+// Len returns the number of entries.
+func (ps *PathSchedule) Len() int { return len(ps.entries) }
+
+// KnownAt returns the conjunction of condition values known on processing
+// element pe at time t according to this schedule: a condition is known on
+// the processing element that computed it from the moment the disjunction
+// process terminates, and on every other element (including buses) from the
+// end of its broadcast.
+func (ps *PathSchedule) KnownAt(pe arch.PEID, t int64) cond.Cube {
+	known := cond.True()
+	for _, ct := range ps.conds {
+		avail := ct.BroadcastEnd
+		if ct.DeciderPE == pe && ct.DeciderPE != arch.NoPE {
+			avail = ct.DecidedAt
+		}
+		if ct.Bus == arch.NoPE {
+			// No broadcast needed (single computation element): the value
+			// is known everywhere from the decision moment.
+			avail = ct.DecidedAt
+		}
+		if t >= avail {
+			known = known.MustWith(ct.Cond, ct.Value)
+		}
+	}
+	return known
+}
+
+// KnownTime returns the moment condition c becomes known on processing
+// element pe, or false when the condition is not decided on this path.
+func (ps *PathSchedule) KnownTime(c cond.Cond, pe arch.PEID) (int64, bool) {
+	ct, ok := ps.conds[c]
+	if !ok {
+		return 0, false
+	}
+	if ct.DeciderPE == pe && ct.DeciderPE != arch.NoPE {
+		return ct.DecidedAt, true
+	}
+	if ct.Bus == arch.NoPE {
+		return ct.DecidedAt, true
+	}
+	return ct.BroadcastEnd, true
+}
+
+// Clone returns a deep copy of the schedule.
+func (ps *PathSchedule) Clone() *PathSchedule {
+	n := NewPathSchedule(ps.Label)
+	n.Delay = ps.Delay
+	for k, v := range ps.entries {
+		n.entries[k] = v
+	}
+	for k, v := range ps.conds {
+		n.conds[k] = v
+	}
+	return n
+}
+
+// Gantt renders the schedule as a per-processing-element time chart, mainly
+// for examples and debugging (the analogue of Fig. 4 of the paper).
+func (ps *PathSchedule) Gantt(a *arch.Architecture, name func(Key) string) string {
+	byPE := map[arch.PEID][]Entry{}
+	for _, e := range ps.Entries() {
+		if e.PE == arch.NoPE {
+			continue
+		}
+		byPE[e.PE] = append(byPE[e.PE], e)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "path %s  (delay %d)\n", ps.Label, ps.Delay)
+	for _, pe := range a.PEs() {
+		entries := byPE[pe.ID]
+		sort.Slice(entries, func(i, j int) bool { return entries[i].Start < entries[j].Start })
+		fmt.Fprintf(&b, "  %-10s:", pe.Name)
+		for _, e := range entries {
+			label := e.Key.String()
+			if name != nil {
+				label = name(e.Key)
+			}
+			fmt.Fprintf(&b, " %s[%d,%d)", label, e.Start, e.End)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,97 @@
+package sched
+
+import "sort"
+
+// Interval is a half-open busy interval [Start, End) on a resource.
+type Interval struct {
+	Start, End int64
+}
+
+// Timeline tracks the busy intervals of one sequential resource (a
+// programmable processor, a bus or a memory module). Hardware processors do
+// not need a timeline because they execute processes in parallel.
+//
+// The zero value is an empty timeline ready to use.
+type Timeline struct {
+	busy []Interval // kept sorted by Start, non-overlapping
+}
+
+// Reserve marks [start, start+dur) as busy. Zero-duration reservations are
+// ignored. Reserve does not check for overlaps; use FreeAt/EarliestFit to
+// find a conflict-free slot first.
+func (t *Timeline) Reserve(start, dur int64) {
+	if dur <= 0 {
+		return
+	}
+	iv := Interval{Start: start, End: start + dur}
+	idx := sort.Search(len(t.busy), func(i int) bool { return t.busy[i].Start >= iv.Start })
+	t.busy = append(t.busy, Interval{})
+	copy(t.busy[idx+1:], t.busy[idx:])
+	t.busy[idx] = iv
+}
+
+// FreeAt reports whether [start, start+dur) does not overlap any reservation.
+// Zero-duration intervals are always free.
+func (t *Timeline) FreeAt(start, dur int64) bool {
+	if dur <= 0 {
+		return true
+	}
+	end := start + dur
+	for _, iv := range t.busy {
+		if iv.Start >= end {
+			break
+		}
+		if iv.End > start {
+			return false
+		}
+	}
+	return true
+}
+
+// EarliestFit returns the earliest time >= earliest at which an interval of
+// the given duration fits between existing reservations.
+func (t *Timeline) EarliestFit(earliest, dur int64) int64 {
+	if dur <= 0 {
+		return earliest
+	}
+	start := earliest
+	for _, iv := range t.busy {
+		if iv.End <= start {
+			continue
+		}
+		if iv.Start >= start+dur {
+			break
+		}
+		// Overlaps (or would overlap); push past this interval.
+		start = iv.End
+	}
+	return start
+}
+
+// NextBusyAfter returns the start of the first reservation beginning at or
+// after the given time, and whether one exists.
+func (t *Timeline) NextBusyAfter(at int64) (int64, bool) {
+	for _, iv := range t.busy {
+		if iv.Start >= at {
+			return iv.Start, true
+		}
+	}
+	return 0, false
+}
+
+// Busy returns a copy of the busy intervals sorted by start time.
+func (t *Timeline) Busy() []Interval { return append([]Interval(nil), t.busy...) }
+
+// Len returns the number of reservations.
+func (t *Timeline) Len() int { return len(t.busy) }
+
+// Overlaps reports whether any two reservations overlap; a correct
+// non-preemptive schedule never lets this happen on a sequential resource.
+func (t *Timeline) Overlaps() bool {
+	for i := 1; i < len(t.busy); i++ {
+		if t.busy[i-1].End > t.busy[i].Start {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,288 @@
+// Package sim re-enacts the distributed run-time scheduler of the paper: for
+// a given combination of condition values it reads the schedule table,
+// activates every active process at the activation time found in the
+// applicable column and checks that the execution is deterministic and
+// feasible:
+//
+//   - every active process (and condition broadcast) has exactly one
+//     applicable activation time (requirements 2 and 3);
+//   - data dependencies are respected (a process starts only after all of its
+//     active predecessors terminated);
+//   - sequential resources (processors, buses, memories) never execute two
+//     activities at the same time;
+//   - requirement 4 holds: the column expression used to activate a process
+//     only contains condition values that are known, at the activation time,
+//     on the processing element executing it.
+//
+// The worst-case delay δmax of a schedule table is the largest completion
+// time over all alternative paths.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/arch"
+	"repro/internal/cond"
+	"repro/internal/cpg"
+	"repro/internal/sched"
+	"repro/internal/table"
+)
+
+// Violation describes one problem found while re-enacting a path.
+type Violation struct {
+	Path   cond.Cube
+	Key    sched.Key
+	Reason string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("path %s, %s: %s", v.Path, v.Key, v.Reason)
+}
+
+// Trace is the re-enactment of one alternative path.
+type Trace struct {
+	Label cond.Cube
+	// Start and End of every activated activity.
+	Start map[sched.Key]int64
+	End   map[sched.Key]int64
+	// Delay is the completion time of the path (activation time of the
+	// sink, i.e. the time the last active process terminates).
+	Delay      int64
+	Violations []Violation
+}
+
+// OK reports whether the trace is free of violations.
+func (t *Trace) OK() bool { return len(t.Violations) == 0 }
+
+// Run re-enacts the execution selected by the given path.
+func Run(g *cpg.Graph, a *arch.Architecture, tbl *table.Table, path *cpg.Path) (*Trace, error) {
+	if g == nil || a == nil || tbl == nil || path == nil {
+		return nil, errors.New("sim: nil argument")
+	}
+	tr := &Trace{
+		Label: path.Label,
+		Start: map[sched.Key]int64{},
+		End:   map[sched.Key]int64{},
+	}
+	sub := g.Subgraph(path)
+
+	addViolation := func(k sched.Key, format string, args ...interface{}) {
+		tr.Violations = append(tr.Violations, Violation{Path: path.Label, Key: k, Reason: fmt.Sprintf(format, args...)})
+	}
+
+	// Resolve the activation time of a key from the table.
+	resolve := func(k sched.Key) (int64, cond.Cube, bool) {
+		app := tbl.Applicable(k, path.Label)
+		if len(app) == 0 {
+			addViolation(k, "no applicable activation time (requirement 3)")
+			return 0, cond.True(), false
+		}
+		first := app[0]
+		for _, e := range app[1:] {
+			if e.Start != first.Start {
+				addViolation(k, "ambiguous activation times %d and %d (requirement 2)", first.Start, e.Start)
+			}
+		}
+		// Use the most specific applicable expression for the knowledge
+		// check (the run-time scheduler fires as soon as any applicable
+		// column is known true; they all agree on the time).
+		best := first
+		for _, e := range app {
+			if e.Expr.Len() > best.Expr.Len() {
+				best = e
+			}
+		}
+		return first.Start, best.Expr, true
+	}
+
+	// Activate processes.
+	for _, p := range sub.ActiveProcs() {
+		proc := g.Process(p)
+		if proc.IsDummy() {
+			continue
+		}
+		k := sched.ProcKey(p)
+		start, expr, ok := resolve(k)
+		if !ok {
+			continue
+		}
+		tr.Start[k] = start
+		tr.End[k] = start + a.EffectiveExec(proc.Exec, proc.PE)
+		_ = expr
+	}
+	// Activate condition broadcasts (when present in the table).
+	broadcastEnd := map[cond.Cond]int64{}
+	deciderEnd := map[cond.Cond]int64{}
+	for _, c := range sub.DecidedConds() {
+		def := g.Condition(c)
+		if e, ok := tr.End[sched.ProcKey(def.Decider)]; ok {
+			deciderEnd[c] = e
+		}
+		k := sched.CondKey(c)
+		if len(tbl.Row(k)) == 0 {
+			// Single-processor systems do not broadcast.
+			broadcastEnd[c] = deciderEnd[c]
+			continue
+		}
+		start, _, ok := resolve(k)
+		if !ok {
+			continue
+		}
+		tr.Start[k] = start
+		tr.End[k] = start + a.CondTime
+		broadcastEnd[c] = tr.End[k]
+		if start < deciderEnd[c] {
+			addViolation(k, "broadcast starts at %d before the disjunction process terminates at %d", start, deciderEnd[c])
+		}
+	}
+
+	// knownAt reports when condition c becomes known on processing element pe.
+	knownAt := func(c cond.Cond, pe arch.PEID) int64 {
+		def := g.Condition(c)
+		if def != nil && pe != arch.NoPE && g.Process(def.Decider).PE == pe {
+			return deciderEnd[c]
+		}
+		if end, ok := broadcastEnd[c]; ok {
+			return end
+		}
+		return deciderEnd[c]
+	}
+
+	// Dependency and requirement-4 checks.
+	for _, p := range sub.ActiveProcs() {
+		proc := g.Process(p)
+		if proc.IsDummy() {
+			continue
+		}
+		k := sched.ProcKey(p)
+		start, ok := tr.Start[k]
+		if !ok {
+			continue
+		}
+		for _, q := range sub.Preds(p) {
+			if g.Process(q).IsDummy() {
+				continue
+			}
+			qEnd, ok := tr.End[sched.ProcKey(q)]
+			if !ok {
+				continue
+			}
+			if start < qEnd {
+				addViolation(k, "starts at %d before predecessor %s terminates at %d", start, g.Process(q).Name, qEnd)
+			}
+		}
+		// Requirement 4: every condition of the applicable column must be
+		// known on the executing processing element at the start time.
+		app := tbl.Applicable(k, path.Label)
+		if len(app) > 0 {
+			expr := app[0].Expr
+			for _, e := range app {
+				if e.Expr.Len() > expr.Len() {
+					expr = e.Expr
+				}
+			}
+			for _, l := range expr.Lits() {
+				if at := knownAt(l.Cond, proc.PE); start < at {
+					addViolation(k, "activation at %d uses condition %s which is known on %s only at %d (requirement 4)",
+						start, g.CondName(l.Cond), peName(a, proc.PE), at)
+				}
+			}
+		}
+	}
+
+	// Resource exclusivity on sequential processing elements.
+	type slot struct {
+		key        sched.Key
+		start, end int64
+	}
+	byPE := map[arch.PEID][]slot{}
+	addSlot := func(k sched.Key, pe arch.PEID) {
+		if pe == arch.NoPE || !a.IsSequential(pe) {
+			return
+		}
+		s, okS := tr.Start[k]
+		e, okE := tr.End[k]
+		if !okS || !okE || s == e {
+			return
+		}
+		byPE[pe] = append(byPE[pe], slot{key: k, start: s, end: e})
+	}
+	for _, p := range sub.ActiveProcs() {
+		if g.Process(p).IsDummy() {
+			continue
+		}
+		addSlot(sched.ProcKey(p), g.Process(p).PE)
+	}
+	for _, c := range sub.DecidedConds() {
+		k := sched.CondKey(c)
+		if _, ok := tr.Start[k]; !ok {
+			continue
+		}
+		// The bus carrying the broadcast is recorded in the path schedule,
+		// not in the table; for the simulation we only check that the
+		// broadcasts on the (single) broadcast bus set do not overlap when
+		// exactly one all-connecting bus exists.
+		buses := a.BroadcastBuses()
+		if len(buses) == 1 {
+			addSlot(k, buses[0])
+		}
+	}
+	for pe, slots := range byPE {
+		sort.Slice(slots, func(i, j int) bool { return slots[i].start < slots[j].start })
+		for i := 1; i < len(slots); i++ {
+			if slots[i-1].end > slots[i].start {
+				addViolation(slots[i].key, "overlaps %s on sequential element %s", slots[i-1].key, peName(a, pe))
+			}
+		}
+	}
+
+	// Delay: completion time of the last active process.
+	for _, p := range sub.ActiveProcs() {
+		if g.Process(p).IsDummy() {
+			continue
+		}
+		if e, ok := tr.End[sched.ProcKey(p)]; ok && e > tr.Delay {
+			tr.Delay = e
+		}
+	}
+	return tr, nil
+}
+
+func peName(a *arch.Architecture, id arch.PEID) string {
+	if pe := a.PE(id); pe != nil {
+		return pe.Name
+	}
+	return fmt.Sprintf("pe(%d)", int(id))
+}
+
+// Result aggregates the re-enactment of every alternative path.
+type Result struct {
+	Traces []*Trace
+	// DeltaMax is the worst-case delay over all paths.
+	DeltaMax int64
+	// Violations collects the violations of all traces.
+	Violations []Violation
+}
+
+// OK reports whether no path produced a violation.
+func (r *Result) OK() bool { return len(r.Violations) == 0 }
+
+// WorstCase re-enacts every alternative path and returns the worst-case delay
+// together with the per-path traces.
+func WorstCase(g *cpg.Graph, a *arch.Architecture, tbl *table.Table, paths []*cpg.Path) (*Result, error) {
+	res := &Result{}
+	for _, p := range paths {
+		tr, err := Run(g, a, tbl, p)
+		if err != nil {
+			return nil, err
+		}
+		res.Traces = append(res.Traces, tr)
+		if tr.Delay > res.DeltaMax {
+			res.DeltaMax = tr.Delay
+		}
+		res.Violations = append(res.Violations, tr.Violations...)
+	}
+	return res, nil
+}

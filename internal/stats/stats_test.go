@@ -1,0 +1,114 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	if !almost(Mean(nil), 0) {
+		t.Fatalf("Mean(nil) != 0")
+	}
+	if !almost(Mean([]float64{2, 4, 6}), 4) {
+		t.Fatalf("Mean wrong")
+	}
+	if !almost(MeanInt([]int64{1, 2, 3, 4}), 2.5) {
+		t.Fatalf("MeanInt wrong")
+	}
+}
+
+func TestFraction(t *testing.T) {
+	vals := []float64{0, 0, 1, 2}
+	if !almost(Fraction(vals, func(v float64) bool { return v == 0 }), 0.5) {
+		t.Fatalf("Fraction wrong")
+	}
+	if !almost(Fraction(nil, func(float64) bool { return true }), 0) {
+		t.Fatalf("Fraction(nil) != 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	vals := []float64{5, 1, 3, 2, 4}
+	if !almost(Percentile(vals, 0), 1) || !almost(Percentile(vals, 100), 5) {
+		t.Fatalf("percentile extremes wrong")
+	}
+	if !almost(Percentile(vals, 50), 3) {
+		t.Fatalf("median wrong: %v", Percentile(vals, 50))
+	}
+	if !almost(Percentile(nil, 50), 0) {
+		t.Fatalf("Percentile(nil) != 0")
+	}
+	// The input must not be reordered.
+	if vals[0] != 5 {
+		t.Fatalf("Percentile mutated its input")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	vals := []float64{3, -1, 7}
+	if !almost(Max(vals), 7) || !almost(Min(vals), -1) {
+		t.Fatalf("Min/Max wrong")
+	}
+	if !almost(Max(nil), 0) || !almost(Min(nil), 0) {
+		t.Fatalf("Min/Max of empty slice must be 0")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries()
+	s.Add(Key(60, 10), 1)
+	s.Add(Key(60, 10), 3)
+	s.Add(Key(80, 10), 5)
+	if len(s.Keys()) != 2 || s.Keys()[0] != "n60/p10" {
+		t.Fatalf("Keys wrong: %v", s.Keys())
+	}
+	if s.Count("n60/p10") != 2 || !almost(s.Mean("n60/p10"), 2) {
+		t.Fatalf("group aggregation wrong")
+	}
+	if got := s.Values("n80/p10"); len(got) != 1 || got[0] != 5 {
+		t.Fatalf("Values wrong: %v", got)
+	}
+	if s.Count("missing") != 0 {
+		t.Fatalf("missing group must be empty")
+	}
+}
+
+func TestPropertyMeanBetweenMinAndMax(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]float64, len(raw))
+		for i, r := range raw {
+			vals[i] = float64(r)
+		}
+		m := Mean(vals)
+		return m >= Min(vals)-1e-9 && m <= Max(vals)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyPercentileMonotone(t *testing.T) {
+	f := func(raw []uint8, a, b uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]float64, len(raw))
+		for i, r := range raw {
+			vals[i] = float64(r)
+		}
+		pa, pb := float64(a%101), float64(b%101)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return Percentile(vals, pa) <= Percentile(vals, pb)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,331 @@
+// Package table implements the schedule table of the paper: one row per
+// ordinary or communication process (plus one row per condition broadcast),
+// one column per conjunction of condition values, and activation times in the
+// cells. A simple non-preemptive run-time scheduler on every processing
+// element reads the table and activates a process at the time found in the
+// column whose expression matches the condition values it currently knows.
+//
+// The package offers placement with conflict detection (requirement 2 of
+// section 3 of the paper), structural validation of requirements 1–3 and a
+// text rendering in the style of Table 1.
+package table
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cond"
+	"repro/internal/cpg"
+	"repro/internal/sched"
+)
+
+// Entry is one cell of the schedule table: the process (or broadcast) of its
+// row is activated at time Start when the column expression Expr is true.
+type Entry struct {
+	Expr  cond.Cube
+	Start int64
+}
+
+// Table is a schedule table under construction or completed.
+type Table struct {
+	rows map[sched.Key][]Entry
+	keys []sched.Key // insertion order of rows
+}
+
+// New returns an empty schedule table.
+func New() *Table {
+	return &Table{rows: map[sched.Key][]Entry{}}
+}
+
+// Keys returns the row keys in insertion order.
+func (t *Table) Keys() []sched.Key { return append([]sched.Key(nil), t.keys...) }
+
+// Row returns the entries of a row (possibly nil).
+func (t *Table) Row(k sched.Key) []Entry { return append([]Entry(nil), t.rows[k]...) }
+
+// NumRows returns the number of rows.
+func (t *Table) NumRows() int { return len(t.keys) }
+
+// NumEntries returns the total number of cells.
+func (t *Table) NumEntries() int {
+	n := 0
+	for _, r := range t.rows {
+		n += len(r)
+	}
+	return n
+}
+
+// Columns returns the distinct column expressions used anywhere in the table,
+// ordered deterministically (fewer literals first, then lexicographically).
+func (t *Table) Columns() []cond.Cube {
+	seen := map[string]cond.Cube{}
+	for _, r := range t.rows {
+		for _, e := range r {
+			seen[e.Expr.Key()] = e.Expr
+		}
+	}
+	out := make([]cond.Cube, 0, len(seen))
+	for _, c := range seen {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Len() != out[j].Len() {
+			return out[i].Len() < out[j].Len()
+		}
+		return out[i].Compare(out[j]) < 0
+	})
+	return out
+}
+
+// Conflict describes a violation of requirement 2: two activation times of
+// the same row whose column expressions can be true simultaneously.
+type Conflict struct {
+	Key      sched.Key
+	New      Entry
+	Existing Entry
+}
+
+// Error renders the conflict.
+func (c Conflict) Error() string {
+	return fmt.Sprintf("table: conflicting activation times for %s: %d under %s vs %d under %s",
+		c.Key, c.New.Start, c.New.Expr, c.Existing.Start, c.Existing.Expr)
+}
+
+// Lookup returns the entry of row k with exactly the given expression.
+func (t *Table) Lookup(k sched.Key, expr cond.Cube) (Entry, bool) {
+	for _, e := range t.rows[k] {
+		if e.Expr.Equal(expr) {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// Applicable returns the entries of row k whose expression is implied by the
+// given (full) condition assignment; these are the entries the run-time
+// scheduler would fire on that path.
+func (t *Table) Applicable(k sched.Key, label cond.Cube) []Entry {
+	var out []Entry
+	for _, e := range t.rows[k] {
+		if label.Implies(e.Expr) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Conflicts returns the existing entries of row k that conflict with placing
+// an activation time start under expression expr: entries with a compatible
+// expression but a different activation time (requirement 2).
+func (t *Table) Conflicts(k sched.Key, expr cond.Cube, start int64) []Entry {
+	var out []Entry
+	for _, e := range t.rows[k] {
+		if e.Start != start && e.Expr.Compatible(expr) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Place records an activation time without checking for conflicts (callers
+// resolve conflicts first, see the merging algorithm). Placing an entry that
+// already exists with the same expression and time is a no-op; placing a
+// different time under an identical expression replaces nothing and returns a
+// Conflict error.
+func (t *Table) Place(k sched.Key, expr cond.Cube, start int64) error {
+	if existing, ok := t.Lookup(k, expr); ok {
+		if existing.Start == start {
+			return nil
+		}
+		return Conflict{Key: k, New: Entry{Expr: expr, Start: start}, Existing: existing}
+	}
+	if _, ok := t.rows[k]; !ok {
+		t.keys = append(t.keys, k)
+	}
+	t.rows[k] = append(t.rows[k], Entry{Expr: expr, Start: start})
+	sort.Slice(t.rows[k], func(i, j int) bool {
+		a, b := t.rows[k][i], t.rows[k][j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		return a.Expr.Compare(b.Expr) < 0
+	})
+	return nil
+}
+
+// EnsureRow creates an empty row for the key if it does not exist yet, so
+// that rendering lists every process even when (unusually) it has no entry.
+func (t *Table) EnsureRow(k sched.Key) {
+	if _, ok := t.rows[k]; !ok {
+		t.rows[k] = []Entry{}
+		t.keys = append(t.keys, k)
+	}
+}
+
+// Violation is one validation finding.
+type Violation struct {
+	Requirement int
+	Key         sched.Key
+	Detail      string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("requirement %d violated for %s: %s", v.Requirement, v.Key, v.Detail)
+}
+
+// Validate checks the structural requirements 1–3 of section 3 of the paper
+// against the graph and its alternative paths:
+//
+//  1. every column expression of a process row implies the process guard;
+//  2. activation times are uniquely determined: two different activation
+//     times of the same row never have compatible column expressions;
+//  3. on every alternative path, every active process has at least one
+//     applicable activation time (coverage), and all applicable activation
+//     times agree.
+//
+// Requirement 4 (activation depends only on condition values known on the
+// executing processing element at that moment) involves timing and is checked
+// by the execution simulator in package sim.
+func (t *Table) Validate(g *cpg.Graph, paths []*cpg.Path) []Violation {
+	var out []Violation
+	// Requirement 1.
+	for _, k := range t.keys {
+		if k.IsCond {
+			continue
+		}
+		guard := g.Guard(k.Proc)
+		for _, e := range t.rows[k] {
+			if !cond.FromCube(e.Expr).Implies(guard) {
+				out = append(out, Violation{
+					Requirement: 1,
+					Key:         k,
+					Detail:      fmt.Sprintf("column %s does not imply guard %s", e.Expr.Format(g.CondName), guard.Format(g.CondName)),
+				})
+			}
+		}
+	}
+	// Requirement 2.
+	for _, k := range t.keys {
+		row := t.rows[k]
+		for i := 0; i < len(row); i++ {
+			for j := i + 1; j < len(row); j++ {
+				if row[i].Start != row[j].Start && row[i].Expr.Compatible(row[j].Expr) {
+					out = append(out, Violation{
+						Requirement: 2,
+						Key:         k,
+						Detail: fmt.Sprintf("times %d (%s) and %d (%s) are not mutually exclusive",
+							row[i].Start, row[i].Expr.Format(g.CondName), row[j].Start, row[j].Expr.Format(g.CondName)),
+					})
+				}
+			}
+		}
+	}
+	// Requirement 3.
+	for _, p := range paths {
+		for _, k := range t.keys {
+			var active bool
+			if k.IsCond {
+				def := g.Condition(k.Cond)
+				active = def != nil && p.IsActive(def.Decider)
+			} else {
+				active = p.IsActive(k.Proc) && !g.Process(k.Proc).IsDummy()
+			}
+			if !active {
+				continue
+			}
+			app := t.Applicable(k, p.Label)
+			if len(app) == 0 {
+				out = append(out, Violation{
+					Requirement: 3,
+					Key:         k,
+					Detail:      fmt.Sprintf("no activation time applies on path %s", p.Label.Format(g.CondName)),
+				})
+				continue
+			}
+			first := app[0].Start
+			for _, e := range app[1:] {
+				if e.Start != first {
+					out = append(out, Violation{
+						Requirement: 3,
+						Key:         k,
+						Detail:      fmt.Sprintf("ambiguous activation times on path %s", p.Label.Format(g.CondName)),
+					})
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// RenderOptions controls the text rendering of a table.
+type RenderOptions struct {
+	// Namer translates condition identifiers to names; defaults to c<N>.
+	Namer cond.Namer
+	// RowName translates row keys to names; defaults to Key.String.
+	RowName func(sched.Key) string
+	// SkipEmptyRows drops rows without entries.
+	SkipEmptyRows bool
+}
+
+// Render produces a fixed-width text table in the style of Table 1 of the
+// paper: one column per expression, one row per process and per condition.
+func (t *Table) Render(opt RenderOptions) string {
+	name := opt.RowName
+	if name == nil {
+		name = func(k sched.Key) string { return k.String() }
+	}
+	cols := t.Columns()
+	header := make([]string, 0, len(cols)+1)
+	header = append(header, "process")
+	for _, c := range cols {
+		header = append(header, c.Format(opt.Namer))
+	}
+	rows := [][]string{header}
+	for _, k := range t.keys {
+		entries := t.rows[k]
+		if opt.SkipEmptyRows && len(entries) == 0 {
+			continue
+		}
+		row := make([]string, len(cols)+1)
+		row[0] = name(k)
+		for i, c := range cols {
+			for _, e := range entries {
+				if e.Expr.Equal(c) {
+					row[i+1] = fmt.Sprintf("%d", e.Start)
+					break
+				}
+			}
+		}
+		rows = append(rows, row)
+	}
+	// Column widths.
+	widths := make([]int, len(cols)+1)
+	for _, r := range rows {
+		for i, cell := range r {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	for ri, r := range rows {
+		for i, cell := range r {
+			if i > 0 {
+				b.WriteString(" | ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+		if ri == 0 {
+			total := 0
+			for _, w := range widths {
+				total += w
+			}
+			b.WriteString(strings.Repeat("-", total+3*len(cols)))
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

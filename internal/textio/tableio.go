@@ -1,0 +1,185 @@
+package textio
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"repro/internal/cond"
+	"repro/internal/cpg"
+	"repro/internal/sched"
+	"repro/internal/table"
+)
+
+// TableEntryDoc is one cell of an exported schedule table.
+type TableEntryDoc struct {
+	// Row is the process name, or the condition name for broadcast rows.
+	Row string `json:"row"`
+	// Broadcast marks condition broadcast rows.
+	Broadcast bool `json:"broadcast,omitempty"`
+	// When is the column expression, rendered with condition names
+	// ("true", "D&!C", ...).
+	When string `json:"when"`
+	// Start is the activation time.
+	Start int64 `json:"start"`
+}
+
+// TableDoc is the JSON export of a schedule table.
+type TableDoc struct {
+	Graph   string          `json:"graph"`
+	Columns []string        `json:"columns"`
+	Entries []TableEntryDoc `json:"entries"`
+}
+
+// rowName renders a row key with the graph's process and condition names.
+func rowName(g *cpg.Graph, k sched.Key) string {
+	if k.IsCond {
+		return g.CondName(k.Cond)
+	}
+	if p := g.Process(k.Proc); p != nil {
+		return p.Name
+	}
+	return k.String()
+}
+
+// EncodeTable converts a schedule table into its JSON document form.
+func EncodeTable(g *cpg.Graph, tbl *table.Table) *TableDoc {
+	doc := &TableDoc{Graph: g.Name()}
+	for _, c := range tbl.Columns() {
+		doc.Columns = append(doc.Columns, c.Format(g.CondName))
+	}
+	for _, k := range tbl.Keys() {
+		for _, e := range tbl.Row(k) {
+			doc.Entries = append(doc.Entries, TableEntryDoc{
+				Row:       rowName(g, k),
+				Broadcast: k.IsCond,
+				When:      e.Expr.Format(g.CondName),
+				Start:     e.Start,
+			})
+		}
+	}
+	return doc
+}
+
+// WriteTableJSON writes the schedule table as indented JSON.
+func WriteTableJSON(w io.Writer, g *cpg.Graph, tbl *table.Table) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(EncodeTable(g, tbl))
+}
+
+// WriteTableCSV writes the schedule table in the layout of Table 1 of the
+// paper: one line per row, one column per condition expression, empty cells
+// where a process has no activation time under that expression.
+func WriteTableCSV(w io.Writer, g *cpg.Graph, tbl *table.Table) error {
+	cw := csv.NewWriter(w)
+	cols := tbl.Columns()
+	header := []string{"process"}
+	for _, c := range cols {
+		header = append(header, c.Format(g.CondName))
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, k := range tbl.Keys() {
+		rec := make([]string, len(cols)+1)
+		rec[0] = rowName(g, k)
+		for i, c := range cols {
+			for _, e := range tbl.Row(k) {
+				if e.Expr.Equal(c) {
+					rec[i+1] = strconv.FormatInt(e.Start, 10)
+					break
+				}
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadTableJSON parses a schedule table document exported by WriteTableJSON
+// and rebuilds the table against the given graph (process and condition
+// names must match).
+func ReadTableJSON(r io.Reader, g *cpg.Graph) (*table.Table, error) {
+	var doc TableDoc
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("textio: %w", err)
+	}
+	// Look-up tables for names.
+	conds := map[string]cond.Cond{}
+	for _, cd := range g.Conditions() {
+		conds[cd.Name] = cd.ID
+	}
+	tbl := table.New()
+	for _, e := range doc.Entries {
+		expr, err := parseCube(e.When, conds)
+		if err != nil {
+			return nil, err
+		}
+		var key sched.Key
+		if e.Broadcast {
+			c, ok := conds[e.Row]
+			if !ok {
+				return nil, fmt.Errorf("textio: unknown condition %q in table document", e.Row)
+			}
+			key = sched.CondKey(c)
+		} else {
+			id, ok := g.FindByName(e.Row)
+			if !ok {
+				return nil, fmt.Errorf("textio: unknown process %q in table document", e.Row)
+			}
+			key = sched.ProcKey(id)
+		}
+		if err := tbl.Place(key, expr, e.Start); err != nil {
+			return nil, err
+		}
+	}
+	return tbl, nil
+}
+
+// parseCube parses an expression rendered by cond.Cube.Format ("true",
+// "D&!C") back into a cube using the graph's condition names.
+func parseCube(s string, conds map[string]cond.Cond) (cond.Cube, error) {
+	if s == "true" || s == "" {
+		return cond.True(), nil
+	}
+	cube := cond.True()
+	start := 0
+	parts := []string{}
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == '&' {
+			parts = append(parts, s[start:i])
+			start = i + 1
+		}
+	}
+	sort.Strings(parts)
+	for _, p := range parts {
+		if p == "" {
+			continue
+		}
+		val := true
+		name := p
+		if p[0] == '!' {
+			val = false
+			name = p[1:]
+		}
+		c, ok := conds[name]
+		if !ok {
+			return cond.Cube{}, fmt.Errorf("textio: unknown condition %q in expression %q", name, s)
+		}
+		var okc bool
+		cube, okc = cube.With(c, val)
+		if !okc {
+			return cond.Cube{}, fmt.Errorf("textio: contradictory expression %q", s)
+		}
+	}
+	return cube, nil
+}

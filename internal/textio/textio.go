@@ -1,0 +1,261 @@
+// Package textio serializes conditional process graphs and architectures to
+// a JSON interchange format (used by the command line tools) and exports
+// graphs to Graphviz DOT for visual inspection.
+package textio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/cond"
+	"repro/internal/cpg"
+)
+
+// PEDoc is the JSON representation of one processing element.
+type PEDoc struct {
+	Name        string  `json:"name"`
+	Kind        string  `json:"kind"`
+	Speed       float64 `json:"speed,omitempty"`
+	ConnectsAll bool    `json:"connectsAll,omitempty"`
+}
+
+// CondDoc is the JSON representation of one condition.
+type CondDoc struct {
+	Name    string `json:"name"`
+	Decider string `json:"decider"`
+}
+
+// ProcDoc is the JSON representation of one process.
+type ProcDoc struct {
+	Name string `json:"name"`
+	Kind string `json:"kind,omitempty"`
+	Exec int64  `json:"exec,omitempty"`
+	PE   string `json:"pe,omitempty"`
+}
+
+// EdgeDoc is the JSON representation of one edge. Condition is empty for
+// simple edges; Value selects the branch of a conditional edge.
+type EdgeDoc struct {
+	From      string `json:"from"`
+	To        string `json:"to"`
+	Condition string `json:"condition,omitempty"`
+	Value     bool   `json:"value,omitempty"`
+}
+
+// Document is a complete problem instance: an architecture plus a mapped
+// conditional process graph.
+type Document struct {
+	Name       string    `json:"name"`
+	CondTime   int64     `json:"condTime"`
+	Elements   []PEDoc   `json:"processingElements"`
+	Conditions []CondDoc `json:"conditions,omitempty"`
+	Processes  []ProcDoc `json:"processes"`
+	Edges      []EdgeDoc `json:"edges"`
+}
+
+// Encode converts a graph and architecture into a Document. Dummy source and
+// sink processes are omitted (they are reconstructed on load).
+func Encode(g *cpg.Graph, a *arch.Architecture) *Document {
+	doc := &Document{Name: g.Name(), CondTime: a.CondTime}
+	for _, pe := range a.PEs() {
+		doc.Elements = append(doc.Elements, PEDoc{
+			Name:        pe.Name,
+			Kind:        pe.Kind.String(),
+			Speed:       pe.Speed,
+			ConnectsAll: pe.ConnectsAll,
+		})
+	}
+	for _, cd := range g.Conditions() {
+		doc.Conditions = append(doc.Conditions, CondDoc{
+			Name:    cd.Name,
+			Decider: g.Process(cd.Decider).Name,
+		})
+	}
+	for _, p := range g.Procs() {
+		if p.IsDummy() {
+			continue
+		}
+		peName := ""
+		if pe := a.PE(p.PE); pe != nil {
+			peName = pe.Name
+		}
+		doc.Processes = append(doc.Processes, ProcDoc{
+			Name: p.Name,
+			Kind: p.Kind.String(),
+			Exec: p.Exec,
+			PE:   peName,
+		})
+	}
+	for _, e := range g.Edges() {
+		from, to := g.Process(e.From), g.Process(e.To)
+		if from.IsDummy() || to.IsDummy() {
+			continue
+		}
+		ed := EdgeDoc{From: from.Name, To: to.Name}
+		if e.HasCond {
+			ed.Condition = g.CondName(e.Cond)
+			ed.Value = e.CondVal
+		}
+		doc.Edges = append(doc.Edges, ed)
+	}
+	return doc
+}
+
+// Decode rebuilds the architecture and the (finalized) graph from a Document.
+func Decode(doc *Document) (*cpg.Graph, *arch.Architecture, error) {
+	a := arch.New()
+	if doc.CondTime > 0 {
+		a.SetCondTime(doc.CondTime)
+	}
+	for _, pe := range doc.Elements {
+		kind, err := arch.ParseKind(pe.Kind)
+		if err != nil {
+			return nil, nil, err
+		}
+		speed := pe.Speed
+		if speed <= 0 {
+			speed = 1
+		}
+		switch kind {
+		case arch.KindProcessor:
+			a.AddProcessor(pe.Name, speed)
+		case arch.KindHardware:
+			a.AddHardware(pe.Name)
+		case arch.KindBus:
+			a.AddBus(pe.Name, pe.ConnectsAll)
+		case arch.KindMemory:
+			a.AddMemory(pe.Name)
+		}
+	}
+	g := cpg.New(doc.Name)
+	procIDs := map[string]cpg.ProcID{}
+	for _, p := range doc.Processes {
+		peID := arch.NoPE
+		if p.PE != "" {
+			id, ok := a.FindByName(p.PE)
+			if !ok {
+				return nil, nil, fmt.Errorf("textio: process %q mapped to unknown processing element %q", p.Name, p.PE)
+			}
+			peID = id
+		}
+		kind := cpg.KindOrdinary
+		if p.Kind != "" {
+			k, err := cpg.ParseKind(p.Kind)
+			if err != nil {
+				return nil, nil, err
+			}
+			kind = k
+		}
+		if _, dup := procIDs[p.Name]; dup {
+			return nil, nil, fmt.Errorf("textio: duplicate process name %q", p.Name)
+		}
+		switch kind {
+		case cpg.KindComm:
+			procIDs[p.Name] = g.AddComm(p.Name, p.Exec, peID)
+		case cpg.KindSource, cpg.KindSink:
+			return nil, nil, fmt.Errorf("textio: document must not contain dummy process %q", p.Name)
+		default:
+			procIDs[p.Name] = g.AddProcess(p.Name, p.Exec, peID)
+		}
+	}
+	condIDs := map[string]cond.Cond{}
+	for _, cd := range doc.Conditions {
+		dec, ok := procIDs[cd.Decider]
+		if !ok {
+			return nil, nil, fmt.Errorf("textio: condition %q decided by unknown process %q", cd.Name, cd.Decider)
+		}
+		condIDs[cd.Name] = g.AddCondition(cd.Name, dec)
+	}
+	for _, ed := range doc.Edges {
+		from, ok := procIDs[ed.From]
+		if !ok {
+			return nil, nil, fmt.Errorf("textio: edge from unknown process %q", ed.From)
+		}
+		to, ok := procIDs[ed.To]
+		if !ok {
+			return nil, nil, fmt.Errorf("textio: edge to unknown process %q", ed.To)
+		}
+		if ed.Condition == "" {
+			g.AddEdge(from, to)
+			continue
+		}
+		c, ok := condIDs[ed.Condition]
+		if !ok {
+			return nil, nil, fmt.Errorf("textio: edge %s->%s uses unknown condition %q", ed.From, ed.To, ed.Condition)
+		}
+		g.AddCondEdge(from, to, c, ed.Value)
+	}
+	if err := g.Finalize(a); err != nil {
+		return nil, nil, err
+	}
+	return g, a, nil
+}
+
+// Write serializes the problem as indented JSON.
+func Write(w io.Writer, g *cpg.Graph, a *arch.Architecture) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(Encode(g, a))
+}
+
+// Read parses a problem document and rebuilds the graph and architecture.
+func Read(r io.Reader) (*cpg.Graph, *arch.Architecture, error) {
+	var doc Document
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return nil, nil, fmt.Errorf("textio: %w", err)
+	}
+	return Decode(&doc)
+}
+
+// DOT renders the graph in Graphviz DOT format: disjunction processes are
+// diamonds, conjunction processes are double circles, communication
+// processes are small boxes, and conditional edges are labelled with their
+// condition literal.
+func DOT(g *cpg.Graph, a *arch.Architecture) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n", g.Name())
+	procs := g.Procs()
+	sort.Slice(procs, func(i, j int) bool { return procs[i].ID < procs[j].ID })
+	for _, p := range procs {
+		shape := "ellipse"
+		switch {
+		case p.IsDummy():
+			shape = "point"
+		case p.Kind == cpg.KindComm:
+			shape = "box"
+		case g.Finalized() && g.IsDisjunction(p.ID):
+			shape = "diamond"
+		case g.Finalized() && g.IsConjunction(p.ID):
+			shape = "doublecircle"
+		}
+		label := p.Name
+		if !p.IsDummy() {
+			peName := ""
+			if pe := a.PE(p.PE); pe != nil {
+				peName = pe.Name
+			}
+			label = fmt.Sprintf("%s\\n%d on %s", p.Name, p.Exec, peName)
+		}
+		fmt.Fprintf(&b, "  %q [shape=%s,label=%q];\n", p.Name, shape, label)
+	}
+	for _, e := range g.Edges() {
+		from, to := g.Process(e.From), g.Process(e.To)
+		if e.HasCond {
+			lit := g.CondName(e.Cond)
+			if !e.CondVal {
+				lit = "!" + lit
+			}
+			fmt.Fprintf(&b, "  %q -> %q [label=%q,style=bold];\n", from.Name, to.Name, lit)
+		} else {
+			fmt.Fprintf(&b, "  %q -> %q;\n", from.Name, to.Name)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

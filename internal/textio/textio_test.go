@@ -1,0 +1,146 @@
+package textio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/cpg"
+	"repro/internal/gen"
+)
+
+// problem builds a small cross-processor conditional problem.
+func problem(t *testing.T) (*cpg.Graph, *arch.Architecture) {
+	t.Helper()
+	a := arch.New()
+	pe1 := a.AddProcessor("pe1", 1)
+	pe2 := a.AddProcessor("pe2", 1.5)
+	a.AddHardware("hw")
+	bus := a.AddBus("bus", true)
+	a.AddMemory("mem")
+	a.SetCondTime(2)
+
+	g := cpg.New("roundtrip")
+	d := g.AddProcess("D", 3, pe1)
+	x := g.AddProcess("X", 4, pe2)
+	y := g.AddProcess("Y", 5, pe1)
+	j := g.AddProcess("J", 1, pe1)
+	c := g.AddCondition("C", d)
+	g.AddCondEdge(d, x, c, true)
+	g.AddCondEdge(d, y, c, false)
+	g.AddEdge(x, j)
+	g.AddEdge(y, j)
+	if _, err := cpg.InsertComms(g, a, cpg.UniformComms(3, bus)); err != nil {
+		t.Fatalf("InsertComms: %v", err)
+	}
+	if err := g.Finalize(a); err != nil {
+		t.Fatalf("Finalize: %v", err)
+	}
+	return g, a
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	g, a := problem(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, g, a); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	g2, a2, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if g2.Name() != g.Name() {
+		t.Fatalf("name lost: %q vs %q", g2.Name(), g.Name())
+	}
+	if a2.CondTime != a.CondTime || a2.NumPEs() != a.NumPEs() {
+		t.Fatalf("architecture not preserved")
+	}
+	if g2.NumOrdinary() != g.NumOrdinary() || g2.NumConds() != g.NumConds() {
+		t.Fatalf("graph sizes not preserved: %d/%d vs %d/%d",
+			g2.NumOrdinary(), g2.NumConds(), g.NumOrdinary(), g.NumConds())
+	}
+	// Comm processes are preserved explicitly.
+	count := func(gr *cpg.Graph) int {
+		n := 0
+		for _, p := range gr.Procs() {
+			if p.Kind == cpg.KindComm {
+				n++
+			}
+		}
+		return n
+	}
+	if count(g2) != count(g) {
+		t.Fatalf("communication processes not preserved")
+	}
+	// Alternative paths identical.
+	p1, err := g.AlternativePaths(0)
+	if err != nil {
+		t.Fatalf("paths: %v", err)
+	}
+	p2, err := g2.AlternativePaths(0)
+	if err != nil {
+		t.Fatalf("paths after round trip: %v", err)
+	}
+	if len(p1) != len(p2) {
+		t.Fatalf("path count changed: %d vs %d", len(p1), len(p2))
+	}
+	// Processor speed preserved.
+	id, ok := a2.FindByName("pe2")
+	if !ok || a2.PE(id).Speed != 1.5 {
+		t.Fatalf("processor speed lost")
+	}
+}
+
+func TestRoundTripGeneratedInstance(t *testing.T) {
+	inst, err := gen.Generate(gen.Config{Seed: 7, Nodes: 60, TargetPaths: 12, Processors: 3, Hardware: 1, Buses: 2})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, inst.Graph, inst.Arch); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	g2, _, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	paths, err := g2.AlternativePaths(0)
+	if err != nil {
+		t.Fatalf("paths: %v", err)
+	}
+	if len(paths) != 12 {
+		t.Fatalf("round-tripped generated graph has %d paths, want 12", len(paths))
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad json":          `{"name": `,
+		"unknown field":     `{"name":"x","bogus":1,"processingElements":[],"processes":[],"edges":[]}`,
+		"unknown pe kind":   `{"name":"x","condTime":1,"processingElements":[{"name":"a","kind":"gpu"}],"processes":[],"edges":[]}`,
+		"unknown mapping":   `{"name":"x","condTime":1,"processingElements":[{"name":"p","kind":"processor"}],"processes":[{"name":"A","exec":1,"pe":"zzz"}],"edges":[]}`,
+		"duplicate process": `{"name":"x","condTime":1,"processingElements":[{"name":"p","kind":"processor"}],"processes":[{"name":"A","exec":1,"pe":"p"},{"name":"A","exec":2,"pe":"p"}],"edges":[]}`,
+		"dummy process":     `{"name":"x","condTime":1,"processingElements":[{"name":"p","kind":"processor"}],"processes":[{"name":"A","kind":"source","pe":"p"}],"edges":[]}`,
+		"unknown edge from": `{"name":"x","condTime":1,"processingElements":[{"name":"p","kind":"processor"}],"processes":[{"name":"A","exec":1,"pe":"p"}],"edges":[{"from":"Z","to":"A"}]}`,
+		"unknown edge to":   `{"name":"x","condTime":1,"processingElements":[{"name":"p","kind":"processor"}],"processes":[{"name":"A","exec":1,"pe":"p"}],"edges":[{"from":"A","to":"Z"}]}`,
+		"unknown condition": `{"name":"x","condTime":1,"processingElements":[{"name":"p","kind":"processor"}],"processes":[{"name":"A","exec":1,"pe":"p"},{"name":"B","exec":1,"pe":"p"}],"edges":[{"from":"A","to":"B","condition":"C","value":true}]}`,
+		"unknown decider":   `{"name":"x","condTime":1,"processingElements":[{"name":"p","kind":"processor"}],"conditions":[{"name":"C","decider":"Z"}],"processes":[{"name":"A","exec":1,"pe":"p"}],"edges":[]}`,
+		"bad process kind":  `{"name":"x","condTime":1,"processingElements":[{"name":"p","kind":"processor"}],"processes":[{"name":"A","kind":"weird","exec":1,"pe":"p"}],"edges":[]}`,
+	}
+	for name, doc := range cases {
+		if _, _, err := Read(strings.NewReader(doc)); err == nil {
+			t.Fatalf("case %q: expected an error", name)
+		}
+	}
+}
+
+func TestDOT(t *testing.T) {
+	g, a := problem(t)
+	out := DOT(g, a)
+	for _, want := range []string{"digraph", "diamond", "doublecircle", `label="C"`, `label="!C"`, "box", "->"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}
