@@ -24,6 +24,8 @@ package repro
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sort"
 	"testing"
 
 	"repro/internal/atm"
@@ -152,6 +154,108 @@ func BenchmarkFig6MergeTime(b *testing.B) {
 			b.ReportMetric(mergeNs/1e6, "merge-ms")
 		})
 	}
+}
+
+// sweepWorkerCounts are the worker counts exercised by the parallel sweep
+// benchmarks: sequential baseline, fixed points for cross-machine
+// comparability, and all CPUs (sorted, deduplicated).
+var sweepWorkerCounts = func() []int {
+	counts := []int{1, 2, 4, runtime.GOMAXPROCS(0)}
+	sort.Ints(counts)
+	out := counts[:1]
+	for _, w := range counts[1:] {
+		if w != out[len(out)-1] {
+			out = append(out, w)
+		}
+	}
+	return out
+}()
+
+// BenchmarkFig5Sweep runs the whole (reduced) Fig. 5 / Fig. 6 sweep through
+// expr.RunSweep with a growing number of workers; comparing the workers=1
+// sub-benchmark with the larger ones measures the multi-core speedup of the
+// concurrent execution engine on the paper's own workload. The reported
+// domain metrics are identical for every worker count by construction.
+func BenchmarkFig5Sweep(b *testing.B) {
+	for _, w := range sweepWorkerCounts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			var cells []expr.Cell
+			for i := 0; i < b.N; i++ {
+				var err error
+				cells, err = expr.RunSweep(expr.SweepConfig{GraphsPerCell: 2, Seed: 1998, Workers: w})
+				if err != nil {
+					b.Fatalf("RunSweep: %v", err)
+				}
+			}
+			var inc []float64
+			for _, c := range cells {
+				inc = append(inc, c.AvgIncreasePct)
+			}
+			b.ReportMetric(stats.Mean(inc), "increase-%")
+			b.ReportMetric(float64(len(cells)), "cells")
+		})
+	}
+}
+
+// BenchmarkFig6SweepMergeTime is the Fig. 6 companion of BenchmarkFig5Sweep:
+// it reports the average merge time measured inside the sweep while the sweep
+// itself runs on N workers (merge time is per-graph work, so it should stay
+// flat while wall-clock ns/op shrinks).
+func BenchmarkFig6SweepMergeTime(b *testing.B) {
+	for _, w := range sweepWorkerCounts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			var cells []expr.Cell
+			for i := 0; i < b.N; i++ {
+				var err error
+				cells, err = expr.RunSweep(expr.SweepConfig{GraphsPerCell: 2, Seed: 1998, Workers: w})
+				if err != nil {
+					b.Fatalf("RunSweep: %v", err)
+				}
+			}
+			var mergeNs []float64
+			for _, c := range cells {
+				mergeNs = append(mergeNs, float64(c.AvgMergeTime))
+			}
+			b.ReportMetric(stats.Mean(mergeNs)/1e6, "merge-ms")
+		})
+	}
+}
+
+// BenchmarkScheduleParallelPaths measures core.Schedule on a generated
+// many-path graph with per-path list scheduling fanned out over N workers.
+func BenchmarkScheduleParallelPaths(b *testing.B) {
+	inst, err := gen.Generate(gen.Config{Seed: 42, Nodes: 120, TargetPaths: 32, Processors: 8, Hardware: 1, Buses: 4})
+	if err != nil {
+		b.Fatalf("Generate: %v", err)
+	}
+	for _, w := range sweepWorkerCounts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Schedule(inst.Graph, inst.Arch, core.Options{Workers: w}); err != nil {
+					b.Fatalf("Schedule: %v", err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScheduleRunParallel drives independent core.Schedule calls from
+// GOMAXPROCS goroutines via b.RunParallel — the many-clients-one-engine shape
+// rather than the one-call-many-workers shape of the benchmarks above.
+func BenchmarkScheduleRunParallel(b *testing.B) {
+	g, a := mustFigure1(b)
+	if _, err := core.Schedule(g, a, core.Options{}); err != nil {
+		b.Fatalf("Schedule: %v", err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := core.Schedule(g, a, core.Options{Workers: 1}); err != nil {
+				b.Errorf("Schedule: %v", err)
+				return
+			}
+		}
+	})
 }
 
 // BenchmarkListSchedule120 measures list scheduling of the individual

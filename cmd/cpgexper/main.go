@@ -10,7 +10,10 @@
 //
 // The Fig. 5 / Fig. 6 sweep uses a reduced number of graphs per cell by
 // default; pass -full to regenerate the paper's 1080-graph experiment, or
-// -graphs N to choose the number of graphs per (size, paths) cell.
+// -graphs N to choose the number of graphs per (size, paths) cell. The sweep
+// runs on all CPUs by default (-workers N bounds it; the figures printed on
+// stdout are byte-identical for every worker count), and progress is
+// reported on stderr (-progress=false silences it).
 package main
 
 import (
@@ -39,6 +42,8 @@ func run(args []string, out io.Writer) error {
 	full := fs.Bool("full", false, "run the full 1080-graph sweep of the paper (slower)")
 	graphs := fs.Int("graphs", 4, "graphs per (size, paths) cell of the Fig. 5/6 sweep")
 	seed := fs.Int64("seed", 1998, "random seed of the sweep")
+	workers := fs.Int("workers", 0, "worker goroutines for the sweep (0 = all CPUs, 1 = sequential)")
+	progress := fs.Bool("progress", true, "report sweep progress on stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -71,14 +76,26 @@ func run(args []string, out io.Writer) error {
 			cfg = expr.PaperSweep()
 			cfg.Seed = *seed
 		}
+		cfg.Workers = *workers
+		if *progress {
+			cfg.Progress = func(done, total int) {
+				fmt.Fprintf(os.Stderr, "\rsweep: %d/%d graphs", done, total)
+				if done == total {
+					fmt.Fprintln(os.Stderr)
+				}
+			}
+		}
 		start := time.Now()
 		cells, err := expr.RunSweep(cfg)
 		if err != nil {
 			return err
 		}
 		cfg = cfg.Normalize()
-		fmt.Fprintf(out, "Sweep over %d graphs (%d per cell), total time %v\n\n",
-			len(cfg.Nodes)*len(cfg.Paths)*cfg.GraphsPerCell, cfg.GraphsPerCell, time.Since(start).Round(time.Millisecond))
+		// Timing goes to stderr so stdout is byte-identical for every
+		// -workers value (and every machine).
+		fmt.Fprintf(os.Stderr, "sweep: total time %v\n", time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(out, "Sweep over %d graphs (%d per cell)\n\n",
+			len(cfg.Nodes)*len(cfg.Paths)*cfg.GraphsPerCell, cfg.GraphsPerCell)
 		if want("fig5") {
 			fmt.Fprintln(out, expr.RenderFig5(cells))
 		}

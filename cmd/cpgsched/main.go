@@ -4,7 +4,7 @@
 // Usage:
 //
 //	cpgsched -in problem.json [-selection largest|smallest|first]
-//	         [-priority cp|order] [-conflicts move|delay]
+//	         [-priority cp|order] [-conflicts move|delay] [-workers N]
 //	         [-gantt] [-dot out.dot] [-quiet]
 //
 // The command prints the delays of the alternative paths, δM, δmax, the
@@ -45,6 +45,7 @@ func run(args []string, out io.Writer) error {
 	dot := fs.String("dot", "", "write a Graphviz DOT rendering of the graph to this file")
 	csvOut := fs.String("csv", "", "write the schedule table as CSV to this file")
 	jsonOut := fs.String("table-json", "", "write the schedule table as JSON to this file")
+	workers := fs.Int("workers", 0, "worker goroutines for path scheduling (0 = all CPUs, 1 = sequential)")
 	quiet := fs.Bool("quiet", false, "print only the delays")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -64,7 +65,7 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	opts := core.Options{}
+	opts := core.Options{Workers: *workers}
 	switch *selection {
 	case "largest":
 		opts.PathSelection = core.SelectLargestDelay

@@ -24,7 +24,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/arch"
@@ -103,6 +106,11 @@ type Options struct {
 	ConflictPolicy ConflictPolicy
 	// MaxPaths bounds the number of alternative paths (0 = default bound).
 	MaxPaths int
+	// Workers bounds the number of goroutines scheduling the alternative
+	// paths concurrently (0 = GOMAXPROCS, 1 = sequential). The result is
+	// identical for every worker count: path schedules are collected in
+	// path enumeration order and the merging itself stays sequential.
+	Workers int
 }
 
 // Stats summarises the work done by the merging algorithm.
@@ -220,22 +228,17 @@ func Schedule(g *cpg.Graph, a *arch.Architecture, opt Options) (*Result, error) 
 	}
 	m := &merger{g: g, a: a, opt: opt, tbl: table.New()}
 	var deltaM int64
-	schedules := make([]*sched.PathSchedule, 0, len(paths))
 	tPathSched := time.Now()
-	for i, p := range paths {
-		sub := g.Subgraph(p)
-		ps, _, err := listsched.Schedule(sub, a, listsched.Options{Priority: opt.PathPriority})
-		if err != nil {
-			return nil, fmt.Errorf("core: scheduling path %s: %w", p.Label.Format(g.CondName), err)
-		}
-		order := map[sched.Key]int64{}
-		for _, e := range ps.Entries() {
-			order[e.Key] = e.Start
-		}
-		m.paths = append(m.paths, &pathInfo{index: i, path: p, sub: sub, optimal: ps, order: order})
-		schedules = append(schedules, ps)
-		if ps.Delay > deltaM {
-			deltaM = ps.Delay
+	infos, err := schedulePaths(g, a, opt, paths)
+	if err != nil {
+		return nil, err
+	}
+	schedules := make([]*sched.PathSchedule, 0, len(paths))
+	for _, pi := range infos {
+		m.paths = append(m.paths, pi)
+		schedules = append(schedules, pi.optimal)
+		if pi.optimal.Delay > deltaM {
+			deltaM = pi.optimal.Delay
 		}
 	}
 	m.stats.Paths = len(paths)
@@ -280,6 +283,76 @@ func Schedule(g *cpg.Graph, a *arch.Architecture, opt Options) (*Result, error) 
 		})
 	}
 	return res, nil
+}
+
+// schedulePaths produces the optimal schedule of every alternative path,
+// fanning the independent listsched runs out over a bounded worker pool.
+// The graph, architecture and paths are only read, and every worker writes
+// exclusively to its own result slot, so the fan-out is race-free; results
+// come back indexed by path so the outcome is identical to the sequential
+// loop regardless of worker count or completion order.
+func schedulePaths(g *cpg.Graph, a *arch.Architecture, opt Options, paths []*cpg.Path) ([]*pathInfo, error) {
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(paths) {
+		workers = len(paths)
+	}
+
+	infos := make([]*pathInfo, len(paths))
+	errs := make([]error, len(paths))
+	var failed atomic.Bool
+	schedOne := func(i int) {
+		if failed.Load() {
+			return // another path already failed; skip the remaining work
+		}
+		p := paths[i]
+		sub := g.Subgraph(p)
+		ps, _, err := listsched.Schedule(sub, a, listsched.Options{Priority: opt.PathPriority})
+		if err != nil {
+			errs[i] = fmt.Errorf("core: scheduling path %s: %w", p.Label.Format(g.CondName), err)
+			failed.Store(true)
+			return
+		}
+		order := make(map[sched.Key]int64, len(ps.Entries()))
+		for _, e := range ps.Entries() {
+			order[e.Key] = e.Start
+		}
+		infos[i] = &pathInfo{index: i, path: p, sub: sub, optimal: ps, order: order}
+	}
+
+	if workers <= 1 {
+		for i := range paths {
+			schedOne(i)
+		}
+	} else {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					schedOne(i)
+				}
+			}()
+		}
+		for i := range paths {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	}
+
+	// Report the lowest-indexed recorded error (later paths may have been
+	// skipped once the first failure was observed).
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return infos, nil
 }
 
 // selectPath picks, among the paths reachable from the decision-tree node

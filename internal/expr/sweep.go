@@ -3,7 +3,10 @@ package expr
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -26,8 +29,18 @@ type SweepConfig struct {
 	// the default here is smaller so the experiment finishes quickly, and
 	// the command line tool can request the full size.
 	GraphsPerCell int
-	// Seed makes the sweep reproducible.
+	// Seed makes the sweep reproducible: every graph of the sweep draws its
+	// generator seed deterministically from Seed and its (size, paths,
+	// index) cell coordinates, so the same Seed produces the same graphs —
+	// and the same cells — for every worker count.
 	Seed int64
+	// Workers bounds the number of goroutines scheduling sweep graphs
+	// concurrently (0 = GOMAXPROCS, 1 = sequential).
+	Workers int
+	// Progress, when non-nil, is called after every scheduled graph with
+	// the number of graphs done so far and the total. Calls are serialized
+	// but may come from worker goroutines.
+	Progress func(done, total int)
 	// Options are passed to the table generation.
 	Options core.Options
 }
@@ -79,37 +92,159 @@ type Cell struct {
 	Violations int
 }
 
+// splitmix64 is the seed-mixing step of the splitmix64 generator; it is used
+// to derive independent, well-distributed per-graph seeds from the sweep seed
+// and the cell coordinates.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// cellSeed derives the generator seed of graph i of the (nodes, paths) cell.
+// The derivation depends only on the sweep seed and the cell coordinates —
+// never on worker count or completion order — so a sweep is reproducible
+// cell-by-cell under any parallelism.
+func cellSeed(seed int64, nodes, paths, i int) int64 {
+	h := splitmix64(uint64(seed))
+	h = splitmix64(h ^ uint64(nodes))
+	h = splitmix64(h ^ uint64(paths))
+	h = splitmix64(h ^ uint64(i))
+	return int64(h >> 1) // non-negative, rand.NewSource takes any int64 but keep it tidy
+}
+
+// sweepJob identifies one graph of the sweep.
+type sweepJob struct {
+	nodes, paths, index int
+}
+
+// sweepResult carries the measurements of one scheduled graph.
+type sweepResult struct {
+	increasePct float64
+	mergeNs     float64
+	pathNs      float64
+	violation   bool
+	err         error
+}
+
 // RunSweep generates the graphs of the sweep, produces a schedule table for
-// every graph and aggregates the per-cell statistics.
+// every graph and aggregates the per-cell statistics. The graphs are
+// independent, so they are scheduled concurrently on cfg.Workers goroutines;
+// per-graph seeds are derived from cfg.Seed and the cell coordinates, and the
+// measurements are aggregated in cell order after all workers join, so the
+// returned cells (timing aside) are bit-identical for every worker count.
 func RunSweep(cfg SweepConfig) ([]Cell, error) {
 	cfg = cfg.Normalize()
-	r := rand.New(rand.NewSource(cfg.Seed))
+
+	var jobs []sweepJob
+	for _, nodes := range cfg.Nodes {
+		for _, paths := range cfg.Paths {
+			for i := 0; i < cfg.GraphsPerCell; i++ {
+				jobs = append(jobs, sweepJob{nodes: nodes, paths: paths, index: i})
+			}
+		}
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	// The sweep parallelises across graphs, so each graph's paths are
+	// scheduled on a single goroutine unless the caller explicitly asked
+	// for nested parallelism: this avoids oversubscription when the sweep
+	// fans out and keeps Workers=1 a true sequential baseline.
+	opts := cfg.Options
+	if opts.Workers == 0 {
+		opts.Workers = 1
+	}
+
+	results := make([]sweepResult, len(jobs))
+	var failed atomic.Bool
+	var mu sync.Mutex
+	done := 0
+	runOne := func(j int) {
+		if failed.Load() {
+			return // a job already failed; drain the queue without working
+		}
+		job := jobs[j]
+		key := stats.Key(job.nodes, job.paths)
+		r := rand.New(rand.NewSource(cellSeed(cfg.Seed, job.nodes, job.paths, job.index)))
+		inst, err := gen.Generate(gen.RandomConfig(r, job.nodes, job.paths))
+		if err != nil {
+			results[j].err = fmt.Errorf("expr: generating graph %d of cell %s: %w", job.index, key, err)
+			failed.Store(true)
+			return
+		}
+		res, err := core.Schedule(inst.Graph, inst.Arch, opts)
+		if err != nil {
+			results[j].err = fmt.Errorf("expr: scheduling graph %d of cell %s: %w", job.index, key, err)
+			failed.Store(true)
+			return
+		}
+		results[j] = sweepResult{
+			increasePct: res.IncreasePercent(),
+			mergeNs:     float64(res.Stats.MergeTime),
+			pathNs:      float64(res.Stats.PathSchedulingTime),
+			violation:   !res.Deterministic(),
+		}
+	}
+	finishOne := func(j int) {
+		if cfg.Progress == nil {
+			return
+		}
+		mu.Lock()
+		done++
+		cfg.Progress(done, len(jobs))
+		mu.Unlock()
+	}
+
+	if workers <= 1 {
+		for j := range jobs {
+			runOne(j)
+			finishOne(j)
+		}
+	} else {
+		ch := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := range ch {
+					runOne(j)
+					finishOne(j)
+				}
+			}()
+		}
+		for j := range jobs {
+			ch <- j
+		}
+		close(ch)
+		wg.Wait()
+	}
+
+	// Aggregate in job order: float sums are order-sensitive, so this keeps
+	// the cells bit-identical regardless of which worker finished first.
 	increase := stats.NewSeries()
 	mergeTime := stats.NewSeries()
 	pathTime := stats.NewSeries()
 	violations := map[string]int{}
 	counts := map[string]int{}
-
-	for _, nodes := range cfg.Nodes {
-		for _, paths := range cfg.Paths {
-			key := stats.Key(nodes, paths)
-			for i := 0; i < cfg.GraphsPerCell; i++ {
-				inst, err := gen.Generate(gen.RandomConfig(r, nodes, paths))
-				if err != nil {
-					return nil, fmt.Errorf("expr: generating graph %d of cell %s: %w", i, key, err)
-				}
-				res, err := core.Schedule(inst.Graph, inst.Arch, cfg.Options)
-				if err != nil {
-					return nil, fmt.Errorf("expr: scheduling graph %d of cell %s: %w", i, key, err)
-				}
-				increase.Add(key, res.IncreasePercent())
-				mergeTime.Add(key, float64(res.Stats.MergeTime))
-				pathTime.Add(key, float64(res.Stats.PathSchedulingTime))
-				counts[key]++
-				if !res.Deterministic() {
-					violations[key]++
-				}
-			}
+	for j, res := range results {
+		if res.err != nil {
+			return nil, res.err
+		}
+		key := stats.Key(jobs[j].nodes, jobs[j].paths)
+		increase.Add(key, res.increasePct)
+		mergeTime.Add(key, res.mergeNs)
+		pathTime.Add(key, res.pathNs)
+		counts[key]++
+		if res.violation {
+			violations[key]++
 		}
 	}
 

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 )
 
 // Mean returns the arithmetic mean of the values (0 for an empty slice).
@@ -97,8 +98,14 @@ func Min(values []float64) float64 {
 }
 
 // Series accumulates values grouped by a string key; it is used to aggregate
-// experiment measurements per (graph size, path count) cell.
+// experiment measurements per (graph size, path count) cell. A Series is safe
+// for concurrent use, but note that insertion order (and therefore the order
+// of Keys and of the values within a group, which matters for bit-exact
+// floating-point aggregation) then depends on goroutine interleaving —
+// callers that need reproducible aggregates should collect per-worker results
+// first and Add them in a deterministic order.
 type Series struct {
+	mu     sync.Mutex
 	keys   []string
 	values map[string][]float64
 }
@@ -110,6 +117,8 @@ func NewSeries() *Series {
 
 // Add appends a value to the group identified by key.
 func (s *Series) Add(key string, v float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if _, ok := s.values[key]; !ok {
 		s.keys = append(s.keys, key)
 	}
@@ -117,16 +126,32 @@ func (s *Series) Add(key string, v float64) {
 }
 
 // Keys returns the group keys in insertion order.
-func (s *Series) Keys() []string { return append([]string(nil), s.keys...) }
+func (s *Series) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.keys...)
+}
 
 // Values returns the values of a group.
-func (s *Series) Values(key string) []float64 { return append([]float64(nil), s.values[key]...) }
+func (s *Series) Values(key string) []float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]float64(nil), s.values[key]...)
+}
 
 // Mean returns the mean of a group.
-func (s *Series) Mean(key string) float64 { return Mean(s.values[key]) }
+func (s *Series) Mean(key string) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Mean(s.values[key])
+}
 
 // Count returns the number of values in a group.
-func (s *Series) Count(key string) int { return len(s.values[key]) }
+func (s *Series) Count(key string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.values[key])
+}
 
 // Key builds a canonical cell key from the graph size and path count.
 func Key(nodes, paths int) string { return fmt.Sprintf("n%d/p%d", nodes, paths) }

@@ -1,0 +1,52 @@
+package repro
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentScheduleFigure1 schedules the worked example of the paper
+// from many goroutines sharing one graph and one architecture, with parallel
+// path scheduling enabled inside each call. Under `go test -race` this
+// exercises every read path of cpg, arch, listsched and core that the
+// concurrent execution engine relies on being immutable after Finalize; all
+// goroutines must also agree on the resulting delays.
+func TestConcurrentScheduleFigure1(t *testing.T) {
+	g, a, err := Figure1()
+	if err != nil {
+		t.Fatalf("Figure1: %v", err)
+	}
+	// Schedule once up front so the graph is finalized before the fan-out.
+	ref, err := Schedule(g, a, Options{})
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+
+	const goroutines = 16
+	const iterations = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(workers int) {
+			defer wg.Done()
+			for j := 0; j < iterations; j++ {
+				res, err := Schedule(g, a, Options{Workers: workers})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res.DeltaM != ref.DeltaM || res.DeltaMax != ref.DeltaMax {
+					t.Errorf("goroutine %d: δM=%d δmax=%d, want δM=%d δmax=%d",
+						workers, res.DeltaM, res.DeltaMax, ref.DeltaM, ref.DeltaMax)
+					return
+				}
+			}
+		}(1 + i%4)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent Schedule: %v", err)
+	}
+}
