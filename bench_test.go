@@ -30,9 +30,11 @@ import (
 
 	"repro/internal/atm"
 	"repro/internal/core"
+	"repro/internal/cpg"
 	"repro/internal/expr"
 	"repro/internal/gen"
 	"repro/internal/listsched"
+	"repro/internal/sim"
 	"repro/internal/stats"
 )
 
@@ -256,6 +258,68 @@ func BenchmarkScheduleRunParallel(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkListschedInner measures one run of the heap-based list scheduler
+// on a prebuilt 120-node subgraph with a reused scratch — the innermost unit
+// of work of the whole system, stripped of subgraph extraction and merging.
+func BenchmarkListschedInner(b *testing.B) {
+	inst, err := gen.Generate(gen.Config{Seed: 3, Nodes: 120, TargetPaths: 18, Processors: 6, Hardware: 1, Buses: 3})
+	if err != nil {
+		b.Fatalf("Generate: %v", err)
+	}
+	paths, err := inst.Graph.AlternativePaths(0)
+	if err != nil {
+		b.Fatalf("AlternativePaths: %v", err)
+	}
+	subs := make([]*cpg.Subgraph, len(paths))
+	for i, p := range paths {
+		subs[i] = inst.Graph.Subgraph(p)
+	}
+	sc := listsched.NewScratch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := sc.Schedule(subs[i%len(subs)], inst.Arch, listsched.Options{}); err != nil {
+			b.Fatalf("Schedule: %v", err)
+		}
+	}
+}
+
+// BenchmarkValidateParallel measures the validation stage — structural table
+// validation plus the per-path re-enactment of the simulator — over a growing
+// worker pool, reusing the subgraphs built during path scheduling exactly as
+// core.Schedule does.
+func BenchmarkValidateParallel(b *testing.B) {
+	inst, err := gen.Generate(gen.Config{Seed: 42, Nodes: 120, TargetPaths: 32, Processors: 8, Hardware: 1, Buses: 4})
+	if err != nil {
+		b.Fatalf("Generate: %v", err)
+	}
+	res, err := core.Schedule(inst.Graph, inst.Arch, core.Options{Workers: 1})
+	if err != nil {
+		b.Fatalf("Schedule: %v", err)
+	}
+	paths, err := inst.Graph.AlternativePaths(0)
+	if err != nil {
+		b.Fatalf("AlternativePaths: %v", err)
+	}
+	for _, w := range sweepWorkerCounts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if v := res.Table.ValidateParallel(inst.Graph, paths, w); len(v) != 0 {
+					b.Fatalf("unexpected violations: %v", v)
+				}
+				simRes, err := sim.WorstCaseSubgraphs(inst.Arch, res.Table, res.Subgraphs, w)
+				if err != nil {
+					b.Fatalf("WorstCaseSubgraphs: %v", err)
+				}
+				if simRes.DeltaMax != res.DeltaMax {
+					b.Fatalf("DeltaMax = %d, want %d", simRes.DeltaMax, res.DeltaMax)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkListSchedule120 measures list scheduling of the individual

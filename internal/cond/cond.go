@@ -10,11 +10,17 @@
 //
 // All values are immutable: every operation returns a new value and never
 // modifies its receiver or arguments.
+//
+// Cubes are backed by a slice of literals sorted by condition identifier.
+// Compared to the earlier map-backed representation this makes the read-only
+// operations (Implies, Compatible, Equal, Lits, Compare) allocation-free and
+// the extending operations (With, And) a single allocation, which matters
+// because the scheduling core evaluates guards inside its innermost loops.
 package cond
 
 import (
 	"fmt"
-	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -60,9 +66,10 @@ func nameOf(n Namer, c Cond) string {
 }
 
 // Cube is a conjunction of condition literals. The zero value is the constant
-// true (the empty conjunction). Cubes are immutable.
+// true (the empty conjunction). Cubes are immutable: the backing literal slice
+// is never modified after construction and may be shared between cubes.
 type Cube struct {
-	m map[Cond]bool
+	lits []Lit // sorted by Cond, at most one literal per condition
 }
 
 // True returns the empty cube (constant true).
@@ -72,15 +79,27 @@ func True() Cube { return Cube{} }
 // false when two literals assign opposite values to the same condition, in
 // which case the conjunction is unsatisfiable.
 func NewCube(lits ...Lit) (Cube, bool) {
-	c := Cube{}
-	ok := true
-	for _, l := range lits {
-		c, ok = c.With(l.Cond, l.Val)
-		if !ok {
-			return Cube{}, false
-		}
+	if len(lits) == 0 {
+		return Cube{}, true
 	}
-	return c, true
+	out := make([]Lit, 0, len(lits))
+	for _, l := range lits {
+		// Insertion sort by condition; cubes are tiny.
+		i := len(out)
+		for i > 0 && out[i-1].Cond > l.Cond {
+			i--
+		}
+		if i > 0 && out[i-1].Cond == l.Cond {
+			if out[i-1].Val != l.Val {
+				return Cube{}, false
+			}
+			continue
+		}
+		out = append(out, Lit{})
+		copy(out[i+1:], out[i:])
+		out[i] = l
+	}
+	return Cube{lits: out}, true
 }
 
 // MustCube is like NewCube but panics on an unsatisfiable conjunction. It is
@@ -93,52 +112,92 @@ func MustCube(lits ...Lit) Cube {
 	return c
 }
 
+// CubeFromOwnedLits builds a cube taking ownership of lits: the slice is
+// sorted in place and becomes the cube's backing storage, so the caller must
+// not read or modify it afterwards. Duplicate literals are compacted; the
+// second return value is false when two literals contradict. It exists for
+// hot paths that assemble the literal list themselves and would otherwise pay
+// NewCube's defensive copy.
+func CubeFromOwnedLits(lits []Lit) (Cube, bool) {
+	if len(lits) == 0 {
+		return Cube{}, true
+	}
+	// Insertion sort by condition; cubes are tiny.
+	for i := 1; i < len(lits); i++ {
+		l := lits[i]
+		j := i
+		for j > 0 && lits[j-1].Cond > l.Cond {
+			lits[j] = lits[j-1]
+			j--
+		}
+		lits[j] = l
+	}
+	out := lits[:1]
+	for _, l := range lits[1:] {
+		last := out[len(out)-1]
+		if last.Cond == l.Cond {
+			if last.Val != l.Val {
+				return Cube{}, false
+			}
+			continue
+		}
+		out = append(out, l)
+	}
+	return Cube{lits: out}, true
+}
+
 // IsTrue reports whether the cube is the empty conjunction.
-func (c Cube) IsTrue() bool { return len(c.m) == 0 }
+func (c Cube) IsTrue() bool { return len(c.lits) == 0 }
 
 // Len returns the number of literals in the cube.
-func (c Cube) Len() int { return len(c.m) }
+func (c Cube) Len() int { return len(c.lits) }
+
+// find returns the index of condition x in the literal slice, or -1. Cubes
+// hold a handful of literals, so a linear scan beats binary search.
+func (c Cube) find(x Cond) int {
+	for i, l := range c.lits {
+		if l.Cond == x {
+			return i
+		}
+		if l.Cond > x {
+			break
+		}
+	}
+	return -1
+}
 
 // Value returns the value assigned to condition x and whether x appears in
 // the cube.
 func (c Cube) Value(x Cond) (bool, bool) {
-	v, ok := c.m[x]
-	return v, ok
+	if i := c.find(x); i >= 0 {
+		return c.lits[i].Val, true
+	}
+	return false, false
 }
 
 // Has reports whether condition x appears in the cube.
-func (c Cube) Has(x Cond) bool {
-	_, ok := c.m[x]
-	return ok
-}
-
-func (c Cube) clone() Cube {
-	if len(c.m) == 0 {
-		return Cube{}
-	}
-	m := make(map[Cond]bool, len(c.m))
-	for k, v := range c.m {
-		m[k] = v
-	}
-	return Cube{m: m}
-}
+func (c Cube) Has(x Cond) bool { return c.find(x) >= 0 }
 
 // With returns a copy of the cube extended with the literal (x, v). The
 // second return value is false when the cube already assigns the opposite
 // value to x.
 func (c Cube) With(x Cond, v bool) (Cube, bool) {
-	if old, ok := c.m[x]; ok {
-		if old != v {
+	// Find the insertion point (first literal with Cond >= x).
+	i := 0
+	for i < len(c.lits) && c.lits[i].Cond < x {
+		i++
+	}
+	if i < len(c.lits) && c.lits[i].Cond == x {
+		if c.lits[i].Val != v {
 			return Cube{}, false
 		}
 		return c, true
 	}
-	n := c.clone()
-	if n.m == nil {
-		n.m = make(map[Cond]bool, 1)
-	}
-	n.m[x] = v
-	return n, true
+	n := make([]Lit, len(c.lits)+1)
+	copy(n, c.lits[:i])
+	n[i] = Lit{Cond: x, Val: v}
+	copy(n[i+1:], c.lits[i:])
+	return Cube{lits: n}, true
 }
 
 // MustWith is like With but panics on contradiction.
@@ -152,41 +211,68 @@ func (c Cube) MustWith(x Cond, v bool) Cube {
 
 // Without returns a copy of the cube with condition x removed.
 func (c Cube) Without(x Cond) Cube {
-	if !c.Has(x) {
+	i := c.find(x)
+	if i < 0 {
 		return c
 	}
-	n := c.clone()
-	delete(n.m, x)
-	return n
+	if len(c.lits) == 1 {
+		return Cube{}
+	}
+	n := make([]Lit, len(c.lits)-1)
+	copy(n, c.lits[:i])
+	copy(n[i:], c.lits[i+1:])
+	return Cube{lits: n}
 }
 
 // And returns the conjunction of two cubes. The second return value is false
 // when the conjunction is unsatisfiable.
 func (c Cube) And(o Cube) (Cube, bool) {
-	if len(c.m) < len(o.m) {
-		c, o = o, c
+	if len(o.lits) == 0 {
+		return c, true
 	}
-	n := c
-	ok := true
-	for k, v := range o.m {
-		n, ok = n.With(k, v)
-		if !ok {
-			return Cube{}, false
+	if len(c.lits) == 0 {
+		return o, true
+	}
+	n := make([]Lit, 0, len(c.lits)+len(o.lits))
+	i, j := 0, 0
+	for i < len(c.lits) && j < len(o.lits) {
+		a, b := c.lits[i], o.lits[j]
+		switch {
+		case a.Cond < b.Cond:
+			n = append(n, a)
+			i++
+		case a.Cond > b.Cond:
+			n = append(n, b)
+			j++
+		default:
+			if a.Val != b.Val {
+				return Cube{}, false
+			}
+			n = append(n, a)
+			i, j = i+1, j+1
 		}
 	}
-	return n, true
+	n = append(n, c.lits[i:]...)
+	n = append(n, o.lits[j:]...)
+	return Cube{lits: n}, true
 }
 
 // Compatible reports whether the conjunction of the two cubes is satisfiable,
 // i.e. no condition appears with opposite values.
 func (c Cube) Compatible(o Cube) bool {
-	small, big := c, o
-	if len(small.m) > len(big.m) {
-		small, big = big, small
-	}
-	for k, v := range small.m {
-		if w, ok := big.m[k]; ok && w != v {
-			return false
+	i, j := 0, 0
+	for i < len(c.lits) && j < len(o.lits) {
+		a, b := c.lits[i], o.lits[j]
+		switch {
+		case a.Cond < b.Cond:
+			i++
+		case a.Cond > b.Cond:
+			j++
+		default:
+			if a.Val != b.Val {
+				return false
+			}
+			i, j = i+1, j+1
 		}
 	}
 	return true
@@ -195,22 +281,29 @@ func (c Cube) Compatible(o Cube) bool {
 // Implies reports whether c logically implies o, i.e. every literal of o
 // appears in c with the same value.
 func (c Cube) Implies(o Cube) bool {
-	for k, v := range o.m {
-		w, ok := c.m[k]
-		if !ok || w != v {
+	if len(o.lits) > len(c.lits) {
+		return false
+	}
+	i := 0
+	for _, b := range o.lits {
+		for i < len(c.lits) && c.lits[i].Cond < b.Cond {
+			i++
+		}
+		if i >= len(c.lits) || c.lits[i].Cond != b.Cond || c.lits[i].Val != b.Val {
 			return false
 		}
+		i++
 	}
 	return true
 }
 
 // Equal reports whether the two cubes contain exactly the same literals.
 func (c Cube) Equal(o Cube) bool {
-	if len(c.m) != len(o.m) {
+	if len(c.lits) != len(o.lits) {
 		return false
 	}
-	for k, v := range c.m {
-		if w, ok := o.m[k]; !ok || w != v {
+	for i, l := range c.lits {
+		if o.lits[i] != l {
 			return false
 		}
 	}
@@ -220,47 +313,56 @@ func (c Cube) Equal(o Cube) bool {
 // CondsSubsetOf reports whether every condition mentioned by c is also
 // mentioned by o (regardless of values).
 func (c Cube) CondsSubsetOf(o Cube) bool {
-	for k := range c.m {
-		if _, ok := o.m[k]; !ok {
+	if len(c.lits) > len(o.lits) {
+		return false
+	}
+	i := 0
+	for _, l := range c.lits {
+		for i < len(o.lits) && o.lits[i].Cond < l.Cond {
+			i++
+		}
+		if i >= len(o.lits) || o.lits[i].Cond != l.Cond {
 			return false
 		}
+		i++
 	}
 	return true
 }
 
 // Conds returns the conditions mentioned by the cube in ascending order.
 func (c Cube) Conds() []Cond {
-	out := make([]Cond, 0, len(c.m))
-	for k := range c.m {
-		out = append(out, k)
+	out := make([]Cond, len(c.lits))
+	for i, l := range c.lits {
+		out[i] = l.Cond
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
-// Lits returns the literals of the cube ordered by condition.
-func (c Cube) Lits() []Lit {
-	conds := c.Conds()
-	out := make([]Lit, 0, len(conds))
-	for _, k := range conds {
-		out = append(out, Lit{Cond: k, Val: c.m[k]})
-	}
-	return out
-}
+// Lits returns the literals of the cube ordered by condition. The returned
+// slice is the cube's backing storage and must not be modified.
+func (c Cube) Lits() []Lit { return c.lits }
 
 // Key returns a canonical string usable as a map key for the cube.
-func (c Cube) Key() string {
+func (c Cube) Key() string { return string(c.AppendKey(nil)) }
+
+// AppendKey appends the canonical key of the cube to dst and returns it.
+// Combined with Go's free []byte-to-string conversion in map lookups, this
+// lets hot paths key maps by expression without allocating per lookup.
+func (c Cube) AppendKey(dst []byte) []byte {
 	if c.IsTrue() {
-		return "1"
+		return append(dst, '1')
 	}
-	var b strings.Builder
-	for i, l := range c.Lits() {
+	for i, l := range c.lits {
 		if i > 0 {
-			b.WriteByte('.')
+			dst = append(dst, '.')
 		}
-		b.WriteString(l.String())
+		if !l.Val {
+			dst = append(dst, '!')
+		}
+		dst = append(dst, 'c')
+		dst = strconv.AppendInt(dst, int64(l.Cond), 10)
 	}
-	return b.String()
+	return dst
 }
 
 // String renders the cube with default condition names ("true" for the empty
@@ -273,8 +375,8 @@ func (c Cube) Format(n Namer) string {
 	if c.IsTrue() {
 		return "true"
 	}
-	parts := make([]string, 0, len(c.m))
-	for _, l := range c.Lits() {
+	parts := make([]string, 0, len(c.lits))
+	for _, l := range c.lits {
 		name := nameOf(n, l.Cond)
 		if l.Val {
 			parts = append(parts, name)
@@ -289,7 +391,7 @@ func (c Cube) Format(n Namer) string {
 // (condition, value). It returns a negative number, zero or a positive number
 // as c sorts before, equal to or after o. It is used for stable table layout.
 func (c Cube) Compare(o Cube) int {
-	a, b := c.Lits(), o.Lits()
+	a, b := c.lits, o.lits
 	for i := 0; i < len(a) && i < len(b); i++ {
 		if a[i].Cond != b[i].Cond {
 			return int(a[i].Cond) - int(b[i].Cond)

@@ -77,18 +77,35 @@ func (d DNF) AndCube(c Cube) DNF { return d.And(FromCube(c)) }
 
 // Conds returns the set of conditions mentioned anywhere in the DNF, sorted.
 func (d DNF) Conds() []Cond {
-	set := map[Cond]bool{}
+	var out []Cond
 	for _, c := range d.cubes {
-		for _, k := range c.Conds() {
-			set[k] = true
-		}
+		out = mergeConds(out, c.Lits())
 	}
-	out := make([]Cond, 0, len(set))
-	for k := range set {
-		out = append(out, k)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
+}
+
+// mergeConds inserts the conditions of the sorted literal slice into the
+// sorted condition slice, keeping it sorted and duplicate-free.
+func mergeConds(dst []Cond, lits []Lit) []Cond {
+	for _, l := range lits {
+		dst = insertCond(dst, l.Cond)
+	}
+	return dst
+}
+
+// insertCond inserts one condition into a sorted, duplicate-free slice.
+func insertCond(dst []Cond, c Cond) []Cond {
+	i := len(dst)
+	for i > 0 && dst[i-1] > c {
+		i--
+	}
+	if i > 0 && dst[i-1] == c {
+		return dst
+	}
+	dst = append(dst, 0)
+	copy(dst[i+1:], dst[i:])
+	dst[i] = c
+	return dst
 }
 
 // SatisfiedBy reports whether the (possibly partial) assignment assign makes
@@ -207,40 +224,77 @@ func mergeAdjacent(a, b Cube) (Cube, bool) {
 }
 
 // assignments enumerates all full assignments over the given conditions and
-// calls fn for each; fn returning false stops the enumeration early.
+// calls fn for each; fn returning false stops the enumeration early. The cube
+// handed to fn shares one backing buffer across iterations: it is only valid
+// during the call and must not be retained.
 func assignments(conds []Cond, fn func(Cube) bool) {
 	n := len(conds)
 	if n > 24 {
 		n = 24 // safety bound; CPGs never get close to this
 	}
 	total := 1 << uint(n)
+	lits := make([]Lit, n)
 	for mask := 0; mask < total; mask++ {
-		c := True()
+		// conds is sorted, so the literal slice is already in cube order.
 		for i := 0; i < n; i++ {
-			c = c.MustWith(conds[i], mask&(1<<uint(i)) != 0)
+			lits[i] = Lit{Cond: conds[i], Val: mask&(1<<uint(i)) != 0}
 		}
-		if !fn(c) {
+		if !fn(Cube{lits: lits}) {
 			return
 		}
 	}
 }
 
-// Implies reports whether d logically implies o, checked by enumerating all
-// assignments over the union of mentioned conditions. Guards mention only a
-// handful of conditions, so the enumeration is cheap.
+// Implies reports whether d logically implies o: every assignment satisfying
+// some cube of d satisfies o. Each cube is first checked against the cubes of
+// o directly (the overwhelmingly common case in guard validation); only when
+// a cube is covered by a combination of o's cubes does the check fall back to
+// enumerating the assignments of the conditions o mentions beyond the cube.
+// Guards mention only a handful of conditions, so even the fallback is cheap.
 func (d DNF) Implies(o DNF) bool {
-	condSet := map[Cond]bool{}
-	for _, c := range append(d.Conds(), o.Conds()...) {
-		condSet[c] = true
+	for _, a := range d.cubes {
+		if !cubeImpliesDNF(a, o) {
+			return false
+		}
 	}
-	conds := make([]Cond, 0, len(condSet))
-	for c := range condSet {
-		conds = append(conds, c)
+	return true
+}
+
+// ImpliedByCube reports whether the single cube c implies the DNF. It is
+// equivalent to FromCube(c).Implies(d) without building the intermediate DNF.
+func (d DNF) ImpliedByCube(c Cube) bool { return cubeImpliesDNF(c, d) }
+
+// cubeImpliesDNF reports whether every assignment satisfying cube a satisfies
+// the DNF o.
+func cubeImpliesDNF(a Cube, o DNF) bool {
+	// Fast path: a is subsumed by one cube of o.
+	for _, b := range o.cubes {
+		if a.Implies(b) {
+			return true
+		}
 	}
-	sort.Slice(conds, func(i, j int) bool { return conds[i] < conds[j] })
+	// Slow path: a may still be covered by several cubes of o together.
+	// Enumerate the assignments of the conditions o mentions and a does not,
+	// each extended with a itself; conditions mentioned nowhere cannot
+	// influence o.
+	var free []Cond
+	for _, b := range o.cubes {
+		for _, l := range b.Lits() {
+			if !a.Has(l.Cond) {
+				free = insertCond(free, l.Cond)
+			}
+		}
+	}
+	if len(free) == 0 {
+		return false // a assigns everything o mentions, and no cube matched
+	}
 	ok := true
-	assignments(conds, func(a Cube) bool {
-		if d.SatisfiedBy(a) && !o.SatisfiedBy(a) {
+	assignments(free, func(x Cube) bool {
+		full, compatible := a.And(x)
+		if !compatible {
+			return true // cannot happen: free excludes a's conditions
+		}
+		if !o.SatisfiedBy(full) {
 			ok = false
 			return false
 		}

@@ -24,9 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"runtime"
 	"sort"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -34,6 +32,7 @@ import (
 	"repro/internal/cond"
 	"repro/internal/cpg"
 	"repro/internal/listsched"
+	"repro/internal/pool"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/table"
@@ -107,8 +106,9 @@ type Options struct {
 	// MaxPaths bounds the number of alternative paths (0 = default bound).
 	MaxPaths int
 	// Workers bounds the number of goroutines scheduling the alternative
-	// paths concurrently (0 = GOMAXPROCS, 1 = sequential). The result is
-	// identical for every worker count: path schedules are collected in
+	// paths concurrently, and — after the merge — re-enacting and
+	// validating them (0 = GOMAXPROCS, 1 = sequential). The result is
+	// identical for every worker count: per-path results are collected in
 	// path enumeration order and the merging itself stays sequential.
 	Workers int
 }
@@ -154,6 +154,11 @@ type Result struct {
 	Paths []PathResult
 	// Schedules are the optimal per-path schedules (same order as Paths).
 	Schedules []*sched.PathSchedule
+	// Subgraphs are the active subgraphs of the alternative paths (same
+	// order as Paths), built once during path scheduling and reused by the
+	// validation and simulation stages; callers re-enacting paths against
+	// the table can reuse them too.
+	Subgraphs []*cpg.Subgraph
 	// DeltaM is the largest optimal path delay (the lower bound of the
 	// worst-case delay).
 	DeltaM int64
@@ -206,6 +211,8 @@ type merger struct {
 	paths []*pathInfo
 	stats Stats
 	steps int
+	// scratch is reused by every reschedule of the (sequential) merge.
+	scratch listsched.Scratch
 }
 
 // Schedule generates the schedule table for the graph on the given
@@ -234,9 +241,11 @@ func Schedule(g *cpg.Graph, a *arch.Architecture, opt Options) (*Result, error) 
 		return nil, err
 	}
 	schedules := make([]*sched.PathSchedule, 0, len(paths))
+	subgraphs := make([]*cpg.Subgraph, 0, len(paths))
 	for _, pi := range infos {
 		m.paths = append(m.paths, pi)
 		schedules = append(schedules, pi.optimal)
+		subgraphs = append(subgraphs, pi.sub)
 		if pi.optimal.Delay > deltaM {
 			deltaM = pi.optimal.Delay
 		}
@@ -257,18 +266,21 @@ func Schedule(g *cpg.Graph, a *arch.Architecture, opt Options) (*Result, error) 
 	m.stats.Columns = len(m.tbl.Columns())
 	m.stats.Entries = m.tbl.NumEntries()
 
-	// Evaluate the table.
+	// Evaluate the table: structural validation and per-path re-enactment
+	// run on the same worker pool as the path scheduling, reusing the
+	// subgraphs built there instead of re-extracting them per path.
 	res := &Result{
 		Graph:     g,
 		Arch:      a,
 		Table:     m.tbl,
 		Schedules: schedules,
+		Subgraphs: subgraphs,
 		DeltaM:    deltaM,
 		Stats:     m.stats,
 	}
 	tValidate := time.Now()
-	res.TableViolations = m.tbl.Validate(g, paths)
-	simRes, err := sim.WorstCase(g, a, m.tbl, paths)
+	res.TableViolations = m.tbl.ValidateParallel(g, paths, opt.Workers)
+	simRes, err := sim.WorstCaseSubgraphs(a, m.tbl, subgraphs, opt.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -292,24 +304,19 @@ func Schedule(g *cpg.Graph, a *arch.Architecture, opt Options) (*Result, error) 
 // come back indexed by path so the outcome is identical to the sequential
 // loop regardless of worker count or completion order.
 func schedulePaths(g *cpg.Graph, a *arch.Architecture, opt Options, paths []*cpg.Path) ([]*pathInfo, error) {
-	workers := opt.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(paths) {
-		workers = len(paths)
-	}
-
 	infos := make([]*pathInfo, len(paths))
 	errs := make([]error, len(paths))
 	var failed atomic.Bool
-	schedOne := func(i int) {
+	// Each worker owns one listsched.Scratch, so the many per-path runs
+	// reuse the same buffers instead of reallocating the scheduler state.
+	scratches := make([]listsched.Scratch, pool.Clamp(len(paths), opt.Workers))
+	pool.ForEachIndexWorker(len(paths), opt.Workers, func(worker, i int) {
 		if failed.Load() {
 			return // another path already failed; skip the remaining work
 		}
 		p := paths[i]
 		sub := g.Subgraph(p)
-		ps, _, err := listsched.Schedule(sub, a, listsched.Options{Priority: opt.PathPriority})
+		ps, _, err := scratches[worker].Schedule(sub, a, listsched.Options{Priority: opt.PathPriority})
 		if err != nil {
 			errs[i] = fmt.Errorf("core: scheduling path %s: %w", p.Label.Format(g.CondName), err)
 			failed.Store(true)
@@ -320,30 +327,7 @@ func schedulePaths(g *cpg.Graph, a *arch.Architecture, opt Options, paths []*cpg
 			order[e.Key] = e.Start
 		}
 		infos[i] = &pathInfo{index: i, path: p, sub: sub, optimal: ps, order: order}
-	}
-
-	if workers <= 1 {
-		for i := range paths {
-			schedOne(i)
-		}
-	} else {
-		jobs := make(chan int)
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range jobs {
-					schedOne(i)
-				}
-			}()
-		}
-		for i := range paths {
-			jobs <- i
-		}
-		close(jobs)
-		wg.Wait()
-	}
+	})
 
 	// Report the lowest-indexed recorded error (later paths may have been
 	// skipped once the first failure was observed).
@@ -395,7 +379,7 @@ func (m *merger) selectPath(decided cond.Cube) *pathInfo {
 // values) keeps that activation time.
 func (m *merger) deriveLocks(pi *pathInfo, decided cond.Cube) map[sched.Key]listsched.Lock {
 	locks := map[sched.Key]listsched.Lock{}
-	for _, key := range m.tbl.Keys() {
+	for _, key := range m.tbl.KeysView() {
 		if key.IsCond {
 			def := m.g.Condition(key.Cond)
 			if def == nil || !pi.path.IsActive(def.Decider) {
@@ -404,7 +388,7 @@ func (m *merger) deriveLocks(pi *pathInfo, decided cond.Cube) map[sched.Key]list
 		} else if !pi.path.IsActive(key.Proc) {
 			continue
 		}
-		for _, e := range m.tbl.Row(key) {
+		for _, e := range m.tbl.RowView(key) {
 			if !e.Expr.CondsSubsetOf(decided) || !e.Expr.Compatible(decided) {
 				continue
 			}
@@ -429,7 +413,7 @@ func (m *merger) deriveLocks(pi *pathInfo, decided cond.Cube) map[sched.Key]list
 // their earliest allowed moment keeping the relative priorities of the
 // original (optimal) schedule.
 func (m *merger) reschedule(pi *pathInfo, locks map[sched.Key]listsched.Lock) (*sched.PathSchedule, error) {
-	ps, diag, err := listsched.Schedule(pi.sub, m.a, listsched.Options{
+	ps, diag, err := m.scratch.Schedule(pi.sub, m.a, listsched.Options{
 		Priority: listsched.PriorityFixedOrder,
 		Order:    pi.order,
 		Locked:   locks,
@@ -533,7 +517,7 @@ func (m *merger) placeSegment(pi *pathInfo, curp **sched.PathSchedule, fixed map
 
 		// Skip when an applicable entry with the same activation time is
 		// already in the table (the previously handled path fixed it).
-		if covered(m.tbl.Row(key), pi.path.Label, e.Start) {
+		if covered(m.tbl.RowView(key), pi.path.Label, e.Start) {
 			fixed[key] = lockFor(e)
 			continue
 		}

@@ -2,7 +2,6 @@ package cpg
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/cond"
 )
@@ -99,13 +98,19 @@ func (g *Graph) PathFor(label cond.Cube) *Path {
 }
 
 // Subgraph is the part of the graph active under one alternative path, with
-// adjacency restricted to active processes and edges.
+// adjacency restricted to active processes and edges. The active adjacency
+// (predecessors, successors, topological order, decided conditions) is
+// precomputed at extraction time into slices backed by shared arrays, so the
+// per-call accessors used inside the scheduler's inner loop never allocate.
 type Subgraph struct {
 	G          *Graph
 	Label      cond.Cube
 	active     []bool
 	activeEdge []bool
 	topo       []ProcID
+	preds      [][]ProcID // active predecessors by ProcID, shared backing array
+	succs      [][]ProcID // active successors by ProcID, shared backing array
+	decided    []cond.Cond
 }
 
 // Subgraph extracts the active subgraph Gk for a path.
@@ -113,6 +118,7 @@ func (g *Graph) Subgraph(p *Path) *Subgraph {
 	g.mustBeFinalized()
 	s := &Subgraph{G: g, Label: p.Label, active: append([]bool(nil), p.Active...)}
 	s.activeEdge = make([]bool, len(g.edges))
+	activeEdges := 0
 	for _, e := range g.edges {
 		if !s.active[e.From] || !s.active[e.To] {
 			continue
@@ -124,10 +130,41 @@ func (g *Graph) Subgraph(p *Path) *Subgraph {
 			}
 		}
 		s.activeEdge[e.ID] = true
+		activeEdges++
 	}
+	topo := make([]ProcID, 0, len(g.topo))
 	for _, id := range g.topo {
 		if s.active[id] {
-			s.topo = append(s.topo, id)
+			topo = append(topo, id)
+		}
+	}
+	s.topo = topo
+	// Precompute the active adjacency with two shared backing arrays; the
+	// per-process ordering matches the edge insertion order of g.in / g.out.
+	n := len(g.procs)
+	s.preds = make([][]ProcID, n)
+	s.succs = make([][]ProcID, n)
+	predBack := make([]ProcID, 0, activeEdges)
+	succBack := make([]ProcID, 0, activeEdges)
+	for i := 0; i < n; i++ {
+		start := len(predBack)
+		for _, eid := range g.in[i] {
+			if s.activeEdge[eid] {
+				predBack = append(predBack, g.edges[eid].From)
+			}
+		}
+		s.preds[i] = predBack[start:len(predBack):len(predBack)]
+		start = len(succBack)
+		for _, eid := range g.out[i] {
+			if s.activeEdge[eid] {
+				succBack = append(succBack, g.edges[eid].To)
+			}
+		}
+		s.succs[i] = succBack[start:len(succBack):len(succBack)]
+	}
+	for _, cd := range g.conds {
+		if s.active[cd.Decider] {
+			s.decided = append(s.decided, cd.ID)
 		}
 	}
 	return s
@@ -148,63 +185,56 @@ func (s *Subgraph) ActiveEdge(id EdgeID) bool {
 	return int(id) >= 0 && int(id) < len(s.activeEdge) && s.activeEdge[id]
 }
 
-// ActiveProcs returns the active processes in topological order.
-func (s *Subgraph) ActiveProcs() []ProcID { return append([]ProcID(nil), s.topo...) }
+// ActiveProcs returns the active processes in topological order. The returned
+// slice is shared with the subgraph and must not be modified.
+func (s *Subgraph) ActiveProcs() []ProcID { return s.topo }
 
 // NumActive returns the number of active processes.
 func (s *Subgraph) NumActive() int { return len(s.topo) }
 
-// Preds returns the active predecessors of p (through active edges).
-func (s *Subgraph) Preds(p ProcID) []ProcID {
-	var out []ProcID
-	for _, eid := range s.G.in[p] {
-		if s.activeEdge[eid] {
-			out = append(out, s.G.edges[eid].From)
-		}
-	}
-	return out
-}
+// Preds returns the active predecessors of p (through active edges), in edge
+// insertion order. The returned slice is shared and must not be modified.
+func (s *Subgraph) Preds(p ProcID) []ProcID { return s.preds[p] }
 
-// Succs returns the active successors of p (through active edges).
-func (s *Subgraph) Succs(p ProcID) []ProcID {
-	var out []ProcID
-	for _, eid := range s.G.out[p] {
-		if s.activeEdge[eid] {
-			out = append(out, s.G.edges[eid].To)
-		}
-	}
-	return out
-}
+// Succs returns the active successors of p (through active edges), in edge
+// insertion order. The returned slice is shared and must not be modified.
+func (s *Subgraph) Succs(p ProcID) []ProcID { return s.succs[p] }
 
 // DecidedConds returns the conditions decided on this path (those whose
-// disjunction process is active), sorted by identifier.
-func (s *Subgraph) DecidedConds() []cond.Cond {
-	var out []cond.Cond
-	for _, cd := range s.G.conds {
-		if s.active[cd.Decider] {
-			out = append(out, cd.ID)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+// disjunction process is active), sorted by identifier. The returned slice is
+// shared and must not be modified.
+func (s *Subgraph) DecidedConds() []cond.Cond { return s.decided }
+
+// CriticalPathLengths returns, for every process identifier (active or not),
+// the length of the longest chain of execution times from that process to the
+// sink within the subgraph; inactive processes keep zero. It is the priority
+// function used by the list scheduler.
+func (s *Subgraph) CriticalPathLengths(exec func(ProcID) int64) []int64 {
+	return s.CriticalPathLengthsInto(nil, exec)
 }
 
-// CriticalPathLengths returns, for every active process, the length of the
-// longest chain of execution times from that process to the sink within the
-// subgraph. It is the priority function used by the list scheduler.
-func (s *Subgraph) CriticalPathLengths(exec func(ProcID) int64) map[ProcID]int64 {
-	cp := make(map[ProcID]int64, len(s.topo))
+// CriticalPathLengthsInto is CriticalPathLengths writing into dst (grown when
+// too small), so callers scheduling many paths can reuse one buffer.
+func (s *Subgraph) CriticalPathLengthsInto(dst []int64, exec func(ProcID) int64) []int64 {
+	n := len(s.G.procs)
+	if cap(dst) < n {
+		dst = make([]int64, n)
+	}
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = 0
+	}
 	for i := len(s.topo) - 1; i >= 0; i-- {
 		p := s.topo[i]
 		best := int64(0)
-		for _, q := range s.Succs(p) {
-			if cp[q] > best {
-				best = cp[q]
+		for _, q := range s.succs[p] {
+			if dst[q] > best {
+				best = dst[q]
 			}
 		}
-		cp[p] = best + exec(p)
+		dst[p] = best + exec(p)
 	}
-	return cp
+	return dst
 }
 
 // ValidatePaths enumerates the alternative paths and checks, for every path,

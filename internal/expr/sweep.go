@@ -3,7 +3,6 @@ package expr
 import (
 	"fmt"
 	"math/rand"
-	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -11,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/gen"
+	"repro/internal/pool"
 	"repro/internal/stats"
 )
 
@@ -146,13 +146,6 @@ func RunSweep(cfg SweepConfig) ([]Cell, error) {
 		}
 	}
 
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
 	// The sweep parallelises across graphs, so each graph's paths are
 	// scheduled on a single goroutine unless the caller explicitly asked
 	// for nested parallelism: this avoids oversubscription when the sweep
@@ -202,30 +195,10 @@ func RunSweep(cfg SweepConfig) ([]Cell, error) {
 		mu.Unlock()
 	}
 
-	if workers <= 1 {
-		for j := range jobs {
-			runOne(j)
-			finishOne(j)
-		}
-	} else {
-		ch := make(chan int)
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for j := range ch {
-					runOne(j)
-					finishOne(j)
-				}
-			}()
-		}
-		for j := range jobs {
-			ch <- j
-		}
-		close(ch)
-		wg.Wait()
-	}
+	pool.ForEachIndex(len(jobs), cfg.Workers, func(j int) {
+		runOne(j)
+		finishOne(j)
+	})
 
 	// Aggregate in job order: float sums are order-sensitive, so this keeps
 	// the cells bit-identical regardless of which worker finished first.

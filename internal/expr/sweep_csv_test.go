@@ -1,0 +1,42 @@
+package expr
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+)
+
+// TestSweepCSVByteIdenticalAcrossWorkers is the determinism acceptance test
+// of the allocation-free scheduling core: the exported Fig. 5 / Fig. 6 CSV
+// must be byte-identical for workers ∈ {1, 4, GOMAXPROCS} (wall-clock timing
+// columns zeroed, everything else — delays, increases, fractions, ordering —
+// exact).
+func TestSweepCSVByteIdenticalAcrossWorkers(t *testing.T) {
+	cfg := SweepConfig{
+		Nodes:         []int{40, 60},
+		Paths:         []int{10, 12},
+		GraphsPerCell: 3,
+		Seed:          1998,
+	}
+	csvFor := func(workers int) []byte {
+		c := cfg
+		c.Workers = workers
+		cells, err := RunSweep(c)
+		if err != nil {
+			t.Fatalf("RunSweep(workers=%d): %v", workers, err)
+		}
+		var buf bytes.Buffer
+		if err := WriteSweepCSV(&buf, zeroTimes(cells)); err != nil {
+			t.Fatalf("WriteSweepCSV(workers=%d): %v", workers, err)
+		}
+		return buf.Bytes()
+	}
+
+	base := csvFor(1)
+	for _, workers := range []int{4, runtime.GOMAXPROCS(0)} {
+		if got := csvFor(workers); !bytes.Equal(got, base) {
+			t.Errorf("sweep CSV differs between workers=1 and workers=%d:\n--- workers=1\n%s\n--- workers=%d\n%s",
+				workers, base, workers, got)
+		}
+	}
+}

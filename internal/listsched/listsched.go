@@ -20,13 +20,19 @@
 //   - two priority functions: longest remaining (critical) path, used for the
 //     optimal schedule of each path, and fixed order, used to keep the
 //     relative priorities of unlocked processes during adjustment.
+//
+// The scheduler runs in O(n log n): the ready set is an indexed priority heap
+// keyed on (priority, process identifier) that is updated incrementally as
+// indegrees drop, and all per-process state lives in dense slices indexed by
+// ProcID. A Scratch value makes the buffers reusable across runs, so callers
+// that schedule many paths (the table generator, the sweep) stay
+// (near-)allocation-free in the inner loop.
 package listsched
 
 import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 
 	"repro/internal/arch"
 	"repro/internal/cond"
@@ -99,52 +105,172 @@ func (d *Diagnostics) OK() bool {
 	return len(d.LockViolations) == 0 && len(d.ResourceOverlaps) == 0
 }
 
+// Scratch holds the dense per-process state and the ready heap of one
+// scheduling run. The buffers are reused across runs, so a caller scheduling
+// many paths (or rescheduling one path many times, like the merging
+// algorithm) allocates only the resulting PathSchedule per run. A Scratch is
+// not safe for concurrent use; give each worker goroutine its own.
+//
+// The zero value is ready to use.
+type Scratch struct {
+	cp        []int64     // critical-path length to the sink, by ProcID
+	prio      []float64   // priority value (smaller schedules first), by ProcID
+	remaining []int32     // unscheduled active predecessors, by ProcID
+	scheduled []bool      // already placed, by ProcID
+	endOf     []int64     // end time of placed processes, by ProcID
+	guardCube []cond.Cube // guard cube satisfied by the path, by ProcID
+	heap      []cpg.ProcID
+	timelines []sched.Timeline // per sequential resource, by PEID
+
+	// deciders[p] lists the conditions decided by process p on this path;
+	// decTouched tracks which slots are dirty so reset stays O(active).
+	deciders   [][]*cpg.CondDef
+	decTouched []cpg.ProcID
+}
+
+// NewScratch returns an empty scratch. Buffers grow on first use.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// reset prepares the scratch for a graph with n processes on an architecture
+// with pes processing elements, clearing only what the previous run dirtied.
+func (sc *Scratch) reset(n, pes int) {
+	// Clear the dirty decider slots before any resizing: decTouched holds
+	// process identifiers of the previous graph, which may exceed n.
+	for _, p := range sc.decTouched {
+		sc.deciders[p] = sc.deciders[p][:0]
+	}
+	sc.decTouched = sc.decTouched[:0]
+	if cap(sc.cp) < n {
+		sc.cp = make([]int64, n)
+		sc.prio = make([]float64, n)
+		sc.remaining = make([]int32, n)
+		sc.scheduled = make([]bool, n)
+		sc.endOf = make([]int64, n)
+		sc.guardCube = make([]cond.Cube, n)
+		sc.deciders = make([][]*cpg.CondDef, n)
+	}
+	sc.cp = sc.cp[:n]
+	sc.prio = sc.prio[:n]
+	sc.remaining = sc.remaining[:n]
+	sc.scheduled = sc.scheduled[:n]
+	sc.endOf = sc.endOf[:n]
+	sc.guardCube = sc.guardCube[:n]
+	sc.deciders = sc.deciders[:n]
+	for i := range sc.scheduled {
+		sc.scheduled[i] = false
+		sc.remaining[i] = 0
+		sc.endOf[i] = 0
+	}
+	sc.heap = sc.heap[:0]
+	if cap(sc.timelines) < pes {
+		sc.timelines = make([]sched.Timeline, pes)
+	}
+	sc.timelines = sc.timelines[:pes]
+	for i := range sc.timelines {
+		sc.timelines[i].Reset()
+	}
+}
+
+// less orders the ready heap: smaller priority value first, ties by process
+// identifier. This reproduces exactly the pick of the reference
+// implementation, which sorted the ready list by (priority, ProcID).
+func (sc *Scratch) less(a, b cpg.ProcID) bool {
+	if sc.prio[a] != sc.prio[b] {
+		return sc.prio[a] < sc.prio[b]
+	}
+	return a < b
+}
+
+// push adds a ready process to the heap.
+func (sc *Scratch) push(p cpg.ProcID) {
+	sc.heap = append(sc.heap, p)
+	i := len(sc.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !sc.less(sc.heap[i], sc.heap[parent]) {
+			break
+		}
+		sc.heap[i], sc.heap[parent] = sc.heap[parent], sc.heap[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the highest-priority ready process.
+func (sc *Scratch) pop() cpg.ProcID {
+	h := sc.heap
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	sc.heap = h[:last]
+	h = sc.heap
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h) && sc.less(h[l], h[smallest]) {
+			smallest = l
+		}
+		if r < len(h) && sc.less(h[r], h[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
+	return top
+}
+
 // Schedule builds a schedule for the active subgraph sub on architecture a.
+// It is shorthand for NewScratch().Schedule; callers scheduling many paths
+// should keep a Scratch per goroutine and reuse it.
 func Schedule(sub *cpg.Subgraph, a *arch.Architecture, opt Options) (*sched.PathSchedule, *Diagnostics, error) {
+	var sc Scratch
+	return sc.Schedule(sub, a, opt)
+}
+
+// Schedule builds a schedule for the active subgraph sub on architecture a,
+// reusing the scratch buffers.
+func (sc *Scratch) Schedule(sub *cpg.Subgraph, a *arch.Architecture, opt Options) (*sched.PathSchedule, *Diagnostics, error) {
 	if sub == nil || a == nil {
 		return nil, nil, errors.New("listsched: nil subgraph or architecture")
 	}
 	g := sub.G
 	diag := &Diagnostics{}
-	ps := sched.NewPathSchedule(sub.Label)
-
 	active := sub.ActiveProcs()
+	ps := sched.NewPathScheduleSized(sub.Label, len(active))
 	if len(active) == 0 {
 		return ps, diag, nil
 	}
+	sc.reset(g.NumProcs(), a.NumPEs())
 
 	exec := func(p cpg.ProcID) int64 {
 		return a.EffectiveExec(g.Process(p).Exec, g.Process(p).PE)
 	}
 
-	// Priority values.
-	cp := sub.CriticalPathLengths(exec)
-	prio := func(p cpg.ProcID) float64 {
+	// Priority values (smaller is picked first, matching the reference
+	// implementation's ascending sort of the ready list).
+	sc.cp = sub.CriticalPathLengthsInto(sc.cp, exec)
+	for _, p := range active {
 		switch opt.Priority {
 		case PriorityFixedOrder:
 			if v, ok := opt.Order[sched.ProcKey(p)]; ok {
-				return float64(v)
+				sc.prio[p] = float64(v)
+			} else {
+				// Fall back to critical path (negated so longer paths come
+				// first) for activities absent from the reference order.
+				sc.prio[p] = math.MaxFloat64/2 - float64(sc.cp[p])
 			}
-			// Fall back to critical path (negated so longer paths come
-			// first) for activities absent from the reference order.
-			return math.MaxFloat64/2 - float64(cp[p])
 		default:
 			// Larger critical path means higher priority; invert so that
 			// smaller values are picked first uniformly.
-			return -float64(cp[p])
+			sc.prio[p] = -float64(sc.cp[p])
 		}
 	}
 
 	// Per-sequential-resource timelines; locked activities reserve upfront.
-	timelines := map[arch.PEID]*sched.Timeline{}
-	timeline := func(pe arch.PEID) *sched.Timeline {
-		tl, ok := timelines[pe]
-		if !ok {
-			tl = &sched.Timeline{}
-			timelines[pe] = tl
-		}
-		return tl
-	}
+	timeline := func(pe arch.PEID) *sched.Timeline { return &sc.timelines[pe] }
 	for key, lock := range opt.Locked {
 		if key.IsCond {
 			if a.Valid(lock.Bus) && a.IsSequential(lock.Bus) {
@@ -165,10 +291,12 @@ func Schedule(sub *cpg.Subgraph, a *arch.Architecture, opt Options) (*sched.Path
 	}
 
 	// Deciders of the conditions decided on this path.
-	deciders := map[cpg.ProcID][]*cpg.CondDef{}
 	for _, c := range sub.DecidedConds() {
 		def := g.Condition(c)
-		deciders[def.Decider] = append(deciders[def.Decider], def)
+		if len(sc.deciders[def.Decider]) == 0 {
+			sc.decTouched = append(sc.decTouched, def.Decider)
+		}
+		sc.deciders[def.Decider] = append(sc.deciders[def.Decider], def)
 	}
 	broadcastBuses := a.BroadcastBuses()
 	needBroadcast := len(a.ComputePEs()) > 1 && len(broadcastBuses) > 0
@@ -176,12 +304,11 @@ func Schedule(sub *cpg.Subgraph, a *arch.Architecture, opt Options) (*sched.Path
 	// guardCube[p] is the cube of the process guard satisfied by this path;
 	// the process may not start on its processing element before every
 	// condition of the cube is known there.
-	guardCube := map[cpg.ProcID]cond.Cube{}
 	for _, p := range active {
 		if c, ok := g.Guard(p).SatisfiedCube(sub.Label); ok {
-			guardCube[p] = c
+			sc.guardCube[p] = c
 		} else {
-			guardCube[p] = cond.True()
+			sc.guardCube[p] = cond.True()
 		}
 	}
 
@@ -235,51 +362,34 @@ func Schedule(sub *cpg.Subgraph, a *arch.Architecture, opt Options) (*sched.Path
 	}
 
 	// List scheduling: repeatedly pick the highest-priority process among
-	// those whose active predecessors are all scheduled.
-	remaining := map[cpg.ProcID]int{}
-	scheduled := map[cpg.ProcID]bool{}
-	endOf := map[cpg.ProcID]int64{}
+	// those whose active predecessors are all scheduled. The ready set is a
+	// min-heap on (priority, ProcID), updated as indegrees drop.
 	for _, p := range active {
-		remaining[p] = len(sub.Preds(p))
-	}
-
-	readyList := func() []cpg.ProcID {
-		var out []cpg.ProcID
-		for _, p := range active {
-			if !scheduled[p] && remaining[p] == 0 {
-				out = append(out, p)
-			}
+		sc.remaining[p] = int32(len(sub.Preds(p)))
+		if sc.remaining[p] == 0 {
+			sc.push(p)
 		}
-		sort.Slice(out, func(i, j int) bool {
-			pi, pj := prio(out[i]), prio(out[j])
-			if pi != pj {
-				return pi < pj
-			}
-			return out[i] < out[j]
-		})
-		return out
 	}
 
 	for count := 0; count < len(active); count++ {
-		ready := readyList()
-		if len(ready) == 0 {
+		if len(sc.heap) == 0 {
 			return nil, diag, fmt.Errorf("listsched: no ready process after scheduling %d of %d (cyclic or inconsistent subgraph)", count, len(active))
 		}
-		p := ready[0]
+		p := sc.pop()
 		proc := g.Process(p)
 		dur := exec(p)
 
 		// Earliest start from data dependencies.
 		est := int64(0)
 		for _, q := range sub.Preds(p) {
-			if endOf[q] > est {
-				est = endOf[q]
+			if sc.endOf[q] > est {
+				est = sc.endOf[q]
 			}
 		}
 		// Knowledge constraint (requirement 4): the guard's conditions must
 		// be known on the processing element executing the process.
 		if proc.PE != arch.NoPE {
-			for _, l := range guardCube[p].Lits() {
+			for _, l := range sc.guardCube[p].Lits() {
 				if at, ok := ps.KnownTime(l.Cond, proc.PE); ok && at > est {
 					est = at
 				}
@@ -294,23 +404,25 @@ func Schedule(sub *cpg.Subgraph, a *arch.Architecture, opt Options) (*sched.Path
 				start = est
 			}
 		} else if a.IsSequential(proc.PE) {
-			start = timeline(proc.PE).EarliestFit(est, dur)
-			timeline(proc.PE).Reserve(start, dur)
+			start = timeline(proc.PE).ReserveEarliest(est, dur)
 		} else {
 			start = est
 		}
 		end := start + dur
 		ps.Set(sched.Entry{Key: sched.ProcKey(p), Start: start, End: end, PE: proc.PE})
-		scheduled[p] = true
-		endOf[p] = end
+		sc.scheduled[p] = true
+		sc.endOf[p] = end
 
 		// Broadcast the conditions this process decides.
-		for _, def := range deciders[p] {
+		for _, def := range sc.deciders[p] {
 			scheduleBroadcast(def, end, proc.PE)
 		}
 
 		for _, q := range sub.Succs(p) {
-			remaining[q]--
+			sc.remaining[q]--
+			if sc.remaining[q] == 0 && !sc.scheduled[q] {
+				sc.push(q)
+			}
 		}
 	}
 
@@ -327,24 +439,25 @@ func Schedule(sub *cpg.Subgraph, a *arch.Architecture, opt Options) (*sched.Path
 		ps.Delay = max
 	}
 
-	for pe, tl := range timelines {
-		if tl.Overlaps() {
-			diag.ResourceOverlaps = append(diag.ResourceOverlaps, pe)
+	for pe := range sc.timelines {
+		if sc.timelines[pe].Overlaps() {
+			diag.ResourceOverlaps = append(diag.ResourceOverlaps, arch.PEID(pe))
 		}
 	}
-	sort.Slice(diag.ResourceOverlaps, func(i, j int) bool { return diag.ResourceOverlaps[i] < diag.ResourceOverlaps[j] })
 	return ps, diag, nil
 }
 
 // ScheduleAllPaths schedules every alternative path of the graph with the
 // critical-path priority and returns the schedules in path order together
-// with δM, the largest of the individual path delays.
+// with δM, the largest of the individual path delays. A single scratch is
+// reused across the paths.
 func ScheduleAllPaths(g *cpg.Graph, a *arch.Architecture, paths []*cpg.Path, opt Options) ([]*sched.PathSchedule, int64, error) {
 	var deltaM int64
+	var sc Scratch
 	out := make([]*sched.PathSchedule, 0, len(paths))
 	for _, p := range paths {
 		sub := g.Subgraph(p)
-		ps, _, err := Schedule(sub, a, opt)
+		ps, _, err := sc.Schedule(sub, a, opt)
 		if err != nil {
 			return nil, 0, fmt.Errorf("listsched: path %s: %w", p.Label, err)
 		}

@@ -5,7 +5,9 @@
 package sched
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 
@@ -94,22 +96,39 @@ type PathSchedule struct {
 
 	entries map[Key]Entry
 	conds   map[cond.Cond]CondTiming
+
+	// sorted and sortedConds cache the results of Entries and Conds; they
+	// are invalidated by Set/SetCond and shared with callers.
+	sorted      []Entry
+	sortedConds []CondTiming
 }
 
 // NewPathSchedule returns an empty schedule for the given path label.
 func NewPathSchedule(label cond.Cube) *PathSchedule {
+	return NewPathScheduleSized(label, 0)
+}
+
+// NewPathScheduleSized returns an empty schedule with capacity for about n
+// entries, avoiding map growth when the caller knows the activity count.
+func NewPathScheduleSized(label cond.Cube, n int) *PathSchedule {
 	return &PathSchedule{
 		Label:   label,
-		entries: map[Key]Entry{},
+		entries: make(map[Key]Entry, n),
 		conds:   map[cond.Cond]CondTiming{},
 	}
 }
 
 // Set records (or replaces) the entry for a key.
-func (ps *PathSchedule) Set(e Entry) { ps.entries[e.Key] = e }
+func (ps *PathSchedule) Set(e Entry) {
+	ps.entries[e.Key] = e
+	ps.sorted = nil
+}
 
 // SetCond records the availability of a condition value.
-func (ps *PathSchedule) SetCond(t CondTiming) { ps.conds[t.Cond] = t }
+func (ps *PathSchedule) SetCond(t CondTiming) {
+	ps.conds[t.Cond] = t
+	ps.sortedConds = nil
+}
 
 // Entry returns the entry for the key.
 func (ps *PathSchedule) Entry(k Key) (Entry, bool) {
@@ -125,33 +144,49 @@ func (ps *PathSchedule) Cond(c cond.Cond) (CondTiming, bool) {
 
 // Conds returns the availability records sorted by decision time (ties by
 // condition identifier). This is the order in which the decision tree of the
-// merging algorithm branches along this schedule.
+// merging algorithm branches along this schedule. The returned slice is
+// cached and shared; callers must not modify it.
 func (ps *PathSchedule) Conds() []CondTiming {
+	if ps.sortedConds != nil || len(ps.conds) == 0 {
+		return ps.sortedConds
+	}
 	out := make([]CondTiming, 0, len(ps.conds))
 	for _, t := range ps.conds {
 		out = append(out, t)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].DecidedAt != out[j].DecidedAt {
-			return out[i].DecidedAt < out[j].DecidedAt
+	slices.SortFunc(out, func(a, b CondTiming) int {
+		if a.DecidedAt != b.DecidedAt {
+			return cmp.Compare(a.DecidedAt, b.DecidedAt)
 		}
-		return out[i].Cond < out[j].Cond
+		return cmp.Compare(a.Cond, b.Cond)
 	})
+	ps.sortedConds = out
 	return out
 }
 
-// Entries returns all entries sorted by start time (ties by key).
+// Entries returns all entries sorted by start time (ties by key). The
+// returned slice is cached and shared; callers must not modify it.
 func (ps *PathSchedule) Entries() []Entry {
+	if ps.sorted != nil || len(ps.entries) == 0 {
+		return ps.sorted
+	}
 	out := make([]Entry, 0, len(ps.entries))
 	for _, e := range ps.entries {
 		out = append(out, e)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Start != out[j].Start {
-			return out[i].Start < out[j].Start
+	slices.SortFunc(out, func(a, b Entry) int {
+		if a.Start != b.Start {
+			return cmp.Compare(a.Start, b.Start)
 		}
-		return out[i].Key.Less(out[j].Key)
+		if a.Key.Less(b.Key) {
+			return -1
+		}
+		if b.Key.Less(a.Key) {
+			return 1
+		}
+		return 0
 	})
+	ps.sorted = out
 	return out
 }
 
@@ -164,7 +199,10 @@ func (ps *PathSchedule) Len() int { return len(ps.entries) }
 // process terminates, and on every other element (including buses) from the
 // end of its broadcast.
 func (ps *PathSchedule) KnownAt(pe arch.PEID, t int64) cond.Cube {
-	known := cond.True()
+	if len(ps.conds) == 0 {
+		return cond.True()
+	}
+	lits := make([]cond.Lit, 0, len(ps.conds))
 	for _, ct := range ps.conds {
 		avail := ct.BroadcastEnd
 		if ct.DeciderPE == pe && ct.DeciderPE != arch.NoPE {
@@ -176,10 +214,12 @@ func (ps *PathSchedule) KnownAt(pe arch.PEID, t int64) cond.Cube {
 			avail = ct.DecidedAt
 		}
 		if t >= avail {
-			known = known.MustWith(ct.Cond, ct.Value)
+			lits = append(lits, cond.Lit{Cond: ct.Cond, Val: ct.Value})
 		}
 	}
-	return known
+	// Each condition appears at most once, so the cube cannot contradict.
+	c, _ := cond.CubeFromOwnedLits(lits)
+	return c
 }
 
 // KnownTime returns the moment condition c becomes known on processing

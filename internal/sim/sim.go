@@ -15,7 +15,10 @@
 //     on the processing element executing it.
 //
 // The worst-case delay δmax of a schedule table is the largest completion
-// time over all alternative paths.
+// time over all alternative paths. The per-path re-enactments are
+// independent, so WorstCaseSubgraphs fans them out over a bounded worker
+// pool and collects the traces in path order, reusing the active subgraphs
+// already built during path scheduling.
 package sim
 
 import (
@@ -26,6 +29,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/cond"
 	"repro/internal/cpg"
+	"repro/internal/pool"
 	"repro/internal/sched"
 	"repro/internal/table"
 )
@@ -61,20 +65,35 @@ func Run(g *cpg.Graph, a *arch.Architecture, tbl *table.Table, path *cpg.Path) (
 	if g == nil || a == nil || tbl == nil || path == nil {
 		return nil, errors.New("sim: nil argument")
 	}
-	tr := &Trace{
-		Label: path.Label,
-		Start: map[sched.Key]int64{},
-		End:   map[sched.Key]int64{},
+	return RunSubgraph(g.Subgraph(path), a, tbl)
+}
+
+// RunSubgraph re-enacts the execution of one alternative path given its
+// prebuilt active subgraph, avoiding the subgraph extraction that Run
+// performs. It only reads the subgraph and the table, so concurrent calls
+// are safe.
+func RunSubgraph(sub *cpg.Subgraph, a *arch.Architecture, tbl *table.Table) (*Trace, error) {
+	if sub == nil || a == nil || tbl == nil {
+		return nil, errors.New("sim: nil argument")
 	}
-	sub := g.Subgraph(path)
+	g := sub.G
+	label := sub.Label
+	active := sub.ActiveProcs()
+	tr := &Trace{
+		Label: label,
+		Start: make(map[sched.Key]int64, len(active)),
+		End:   make(map[sched.Key]int64, len(active)),
+	}
 
 	addViolation := func(k sched.Key, format string, args ...interface{}) {
-		tr.Violations = append(tr.Violations, Violation{Path: path.Label, Key: k, Reason: fmt.Sprintf(format, args...)})
+		tr.Violations = append(tr.Violations, Violation{Path: label, Key: k, Reason: fmt.Sprintf(format, args...)})
 	}
 
-	// Resolve the activation time of a key from the table.
+	// Resolve the activation time of a key from the table; app is a shared
+	// scratch buffer for the applicable entries.
+	var app []table.Entry
 	resolve := func(k sched.Key) (int64, cond.Cube, bool) {
-		app := tbl.Applicable(k, path.Label)
+		app = tbl.AppendApplicable(app[:0], k, label)
 		if len(app) == 0 {
 			addViolation(k, "no applicable activation time (requirement 3)")
 			return 0, cond.True(), false
@@ -98,7 +117,7 @@ func Run(g *cpg.Graph, a *arch.Architecture, tbl *table.Table, path *cpg.Path) (
 	}
 
 	// Activate processes.
-	for _, p := range sub.ActiveProcs() {
+	for _, p := range active {
 		proc := g.Process(p)
 		if proc.IsDummy() {
 			continue
@@ -121,7 +140,7 @@ func Run(g *cpg.Graph, a *arch.Architecture, tbl *table.Table, path *cpg.Path) (
 			deciderEnd[c] = e
 		}
 		k := sched.CondKey(c)
-		if len(tbl.Row(k)) == 0 {
+		if len(tbl.RowView(k)) == 0 {
 			// Single-processor systems do not broadcast.
 			broadcastEnd[c] = deciderEnd[c]
 			continue
@@ -151,7 +170,7 @@ func Run(g *cpg.Graph, a *arch.Architecture, tbl *table.Table, path *cpg.Path) (
 	}
 
 	// Dependency and requirement-4 checks.
-	for _, p := range sub.ActiveProcs() {
+	for _, p := range active {
 		proc := g.Process(p)
 		if proc.IsDummy() {
 			continue
@@ -175,7 +194,7 @@ func Run(g *cpg.Graph, a *arch.Architecture, tbl *table.Table, path *cpg.Path) (
 		}
 		// Requirement 4: every condition of the applicable column must be
 		// known on the executing processing element at the start time.
-		app := tbl.Applicable(k, path.Label)
+		app = tbl.AppendApplicable(app[:0], k, label)
 		if len(app) > 0 {
 			expr := app[0].Expr
 			for _, e := range app {
@@ -209,7 +228,7 @@ func Run(g *cpg.Graph, a *arch.Architecture, tbl *table.Table, path *cpg.Path) (
 		}
 		byPE[pe] = append(byPE[pe], slot{key: k, start: s, end: e})
 	}
-	for _, p := range sub.ActiveProcs() {
+	for _, p := range active {
 		if g.Process(p).IsDummy() {
 			continue
 		}
@@ -239,7 +258,7 @@ func Run(g *cpg.Graph, a *arch.Architecture, tbl *table.Table, path *cpg.Path) (
 	}
 
 	// Delay: completion time of the last active process.
-	for _, p := range sub.ActiveProcs() {
+	for _, p := range active {
 		if g.Process(p).IsDummy() {
 			continue
 		}
@@ -269,16 +288,31 @@ type Result struct {
 // OK reports whether no path produced a violation.
 func (r *Result) OK() bool { return len(r.Violations) == 0 }
 
-// WorstCase re-enacts every alternative path and returns the worst-case delay
-// together with the per-path traces.
+// WorstCase re-enacts every alternative path sequentially and returns the
+// worst-case delay together with the per-path traces.
 func WorstCase(g *cpg.Graph, a *arch.Architecture, tbl *table.Table, paths []*cpg.Path) (*Result, error) {
-	res := &Result{}
-	for _, p := range paths {
-		tr, err := Run(g, a, tbl, p)
-		if err != nil {
-			return nil, err
+	subs := make([]*cpg.Subgraph, len(paths))
+	for i, p := range paths {
+		subs[i] = g.Subgraph(p)
+	}
+	return WorstCaseSubgraphs(a, tbl, subs, 1)
+}
+
+// WorstCaseSubgraphs re-enacts every alternative path, given the prebuilt
+// active subgraphs, over a bounded worker pool (0 = GOMAXPROCS, 1 =
+// sequential). Traces, the worst-case delay and the violations are collected
+// in path order, so the result is identical for every worker count.
+func WorstCaseSubgraphs(a *arch.Architecture, tbl *table.Table, subs []*cpg.Subgraph, workers int) (*Result, error) {
+	traces := make([]*Trace, len(subs))
+	errs := make([]error, len(subs))
+	pool.ForEachIndex(len(subs), workers, func(i int) {
+		traces[i], errs[i] = RunSubgraph(subs[i], a, tbl)
+	})
+	res := &Result{Traces: traces}
+	for i, tr := range traces {
+		if errs[i] != nil {
+			return nil, errs[i]
 		}
-		res.Traces = append(res.Traces, tr)
 		if tr.Delay > res.DeltaMax {
 			res.DeltaMax = tr.Delay
 		}

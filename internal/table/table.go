@@ -6,8 +6,14 @@
 // column whose expression matches the condition values it currently knows.
 //
 // The package offers placement with conflict detection (requirement 2 of
-// section 3 of the paper), structural validation of requirements 1–3 and a
-// text rendering in the style of Table 1.
+// section 3 of the paper), structural validation of requirements 1–3 (the
+// per-path part optionally fanned over a worker pool) and a text rendering in
+// the style of Table 1.
+//
+// Rows keep their entries sorted by (activation time, expression) and carry a
+// per-row index from canonical expression key to entry, so the merging
+// algorithm's inner loop (deriveLocks, covered, Conflicts, Place) reads rows
+// without copying and looks expressions up in constant time.
 package table
 
 import (
@@ -17,6 +23,7 @@ import (
 
 	"repro/internal/cond"
 	"repro/internal/cpg"
+	"repro/internal/pool"
 	"repro/internal/sched"
 )
 
@@ -27,22 +34,48 @@ type Entry struct {
 	Start int64
 }
 
+// row stores the entries of one table row sorted by (Start, Expr) plus an
+// index from canonical expression key to entry.
+type row struct {
+	entries []Entry
+	byExpr  map[string]Entry
+}
+
 // Table is a schedule table under construction or completed.
 type Table struct {
-	rows map[sched.Key][]Entry
+	rows map[sched.Key]*row
 	keys []sched.Key // insertion order of rows
+	// keyBuf is a scratch buffer for canonical expression keys, so map
+	// lookups during placement do not allocate. Mutating methods are not
+	// safe for concurrent use (the read-only validation fan-out is).
+	keyBuf []byte
 }
 
 // New returns an empty schedule table.
 func New() *Table {
-	return &Table{rows: map[sched.Key][]Entry{}}
+	return &Table{rows: map[sched.Key]*row{}}
 }
 
-// Keys returns the row keys in insertion order.
+// Keys returns a copy of the row keys in insertion order.
 func (t *Table) Keys() []sched.Key { return append([]sched.Key(nil), t.keys...) }
 
-// Row returns the entries of a row (possibly nil).
-func (t *Table) Row(k sched.Key) []Entry { return append([]Entry(nil), t.rows[k]...) }
+// KeysView returns the row keys in insertion order without copying. The
+// returned slice is shared with the table and must not be modified.
+func (t *Table) KeysView() []sched.Key { return t.keys }
+
+// Row returns a copy of the entries of a row (possibly nil).
+func (t *Table) Row(k sched.Key) []Entry { return append([]Entry(nil), t.RowView(k)...) }
+
+// RowView returns the entries of a row sorted by (Start, Expr) without
+// copying. The returned slice is shared with the table and must not be
+// modified; it is invalidated by the next Place on the same row.
+func (t *Table) RowView(k sched.Key) []Entry {
+	r := t.rows[k]
+	if r == nil {
+		return nil
+	}
+	return r.entries
+}
 
 // NumRows returns the number of rows.
 func (t *Table) NumRows() int { return len(t.keys) }
@@ -51,7 +84,7 @@ func (t *Table) NumRows() int { return len(t.keys) }
 func (t *Table) NumEntries() int {
 	n := 0
 	for _, r := range t.rows {
-		n += len(r)
+		n += len(r.entries)
 	}
 	return n
 }
@@ -60,9 +93,13 @@ func (t *Table) NumEntries() int {
 // ordered deterministically (fewer literals first, then lexicographically).
 func (t *Table) Columns() []cond.Cube {
 	seen := map[string]cond.Cube{}
+	var buf []byte
 	for _, r := range t.rows {
-		for _, e := range r {
-			seen[e.Expr.Key()] = e.Expr
+		for _, e := range r.entries {
+			buf = e.Expr.AppendKey(buf[:0])
+			if _, ok := seen[string(buf)]; !ok {
+				seen[string(buf)] = e.Expr
+			}
 		}
 	}
 	out := make([]cond.Cube, 0, len(seen))
@@ -94,33 +131,46 @@ func (c Conflict) Error() string {
 
 // Lookup returns the entry of row k with exactly the given expression.
 func (t *Table) Lookup(k sched.Key, expr cond.Cube) (Entry, bool) {
-	for _, e := range t.rows[k] {
-		if e.Expr.Equal(expr) {
-			return e, true
-		}
+	r := t.rows[k]
+	if r == nil {
+		return Entry{}, false
 	}
-	return Entry{}, false
+	e, ok := r.byExpr[expr.Key()]
+	return e, ok
 }
 
 // Applicable returns the entries of row k whose expression is implied by the
 // given (full) condition assignment; these are the entries the run-time
 // scheduler would fire on that path.
 func (t *Table) Applicable(k sched.Key, label cond.Cube) []Entry {
-	var out []Entry
-	for _, e := range t.rows[k] {
+	return t.AppendApplicable(nil, k, label)
+}
+
+// AppendApplicable appends the applicable entries of row k to dst and returns
+// it, letting callers that resolve many keys reuse one buffer.
+func (t *Table) AppendApplicable(dst []Entry, k sched.Key, label cond.Cube) []Entry {
+	r := t.rows[k]
+	if r == nil {
+		return dst
+	}
+	for _, e := range r.entries {
 		if label.Implies(e.Expr) {
-			out = append(out, e)
+			dst = append(dst, e)
 		}
 	}
-	return out
+	return dst
 }
 
 // Conflicts returns the existing entries of row k that conflict with placing
 // an activation time start under expression expr: entries with a compatible
 // expression but a different activation time (requirement 2).
 func (t *Table) Conflicts(k sched.Key, expr cond.Cube, start int64) []Entry {
+	r := t.rows[k]
+	if r == nil {
+		return nil
+	}
 	var out []Entry
-	for _, e := range t.rows[k] {
+	for _, e := range r.entries {
 		if e.Start != start && e.Expr.Compatible(expr) {
 			out = append(out, e)
 		}
@@ -134,23 +184,31 @@ func (t *Table) Conflicts(k sched.Key, expr cond.Cube, start int64) []Entry {
 // different time under an identical expression replaces nothing and returns a
 // Conflict error.
 func (t *Table) Place(k sched.Key, expr cond.Cube, start int64) error {
-	if existing, ok := t.Lookup(k, expr); ok {
+	r := t.rows[k]
+	if r == nil {
+		r = &row{byExpr: map[string]Entry{}}
+		t.rows[k] = r
+		t.keys = append(t.keys, k)
+	}
+	t.keyBuf = expr.AppendKey(t.keyBuf[:0])
+	if existing, ok := r.byExpr[string(t.keyBuf)]; ok {
 		if existing.Start == start {
 			return nil
 		}
 		return Conflict{Key: k, New: Entry{Expr: expr, Start: start}, Existing: existing}
 	}
-	if _, ok := t.rows[k]; !ok {
-		t.keys = append(t.keys, k)
-	}
-	t.rows[k] = append(t.rows[k], Entry{Expr: expr, Start: start})
-	sort.Slice(t.rows[k], func(i, j int) bool {
-		a, b := t.rows[k][i], t.rows[k][j]
-		if a.Start != b.Start {
-			return a.Start < b.Start
+	e := Entry{Expr: expr, Start: start}
+	// Insert keeping the row sorted by (Start, Expr).
+	idx := sort.Search(len(r.entries), func(i int) bool {
+		if r.entries[i].Start != start {
+			return r.entries[i].Start > start
 		}
-		return a.Expr.Compare(b.Expr) < 0
+		return r.entries[i].Expr.Compare(expr) >= 0
 	})
+	r.entries = append(r.entries, Entry{})
+	copy(r.entries[idx+1:], r.entries[idx:])
+	r.entries[idx] = e
+	r.byExpr[string(t.keyBuf)] = e
 	return nil
 }
 
@@ -158,7 +216,7 @@ func (t *Table) Place(k sched.Key, expr cond.Cube, start int64) error {
 // that rendering lists every process even when (unusually) it has no entry.
 func (t *Table) EnsureRow(k sched.Key) {
 	if _, ok := t.rows[k]; !ok {
-		t.rows[k] = []Entry{}
+		t.rows[k] = &row{byExpr: map[string]Entry{}}
 		t.keys = append(t.keys, k)
 	}
 }
@@ -188,6 +246,14 @@ func (v Violation) String() string {
 // executing processing element at that moment) involves timing and is checked
 // by the execution simulator in package sim.
 func (t *Table) Validate(g *cpg.Graph, paths []*cpg.Path) []Violation {
+	return t.ValidateParallel(g, paths, 1)
+}
+
+// ValidateParallel is Validate with the per-path coverage check (requirement
+// 3) fanned out over a bounded worker pool. Violations are collected in path
+// order, so the result is identical for every worker count (0 = GOMAXPROCS,
+// 1 = sequential).
+func (t *Table) ValidateParallel(g *cpg.Graph, paths []*cpg.Path, workers int) []Violation {
 	var out []Violation
 	// Requirement 1.
 	for _, k := range t.keys {
@@ -195,8 +261,8 @@ func (t *Table) Validate(g *cpg.Graph, paths []*cpg.Path) []Violation {
 			continue
 		}
 		guard := g.Guard(k.Proc)
-		for _, e := range t.rows[k] {
-			if !cond.FromCube(e.Expr).Implies(guard) {
+		for _, e := range t.rows[k].entries {
+			if !guard.ImpliedByCube(e.Expr) {
 				out = append(out, Violation{
 					Requirement: 1,
 					Key:         k,
@@ -207,7 +273,7 @@ func (t *Table) Validate(g *cpg.Graph, paths []*cpg.Path) []Violation {
 	}
 	// Requirement 2.
 	for _, k := range t.keys {
-		row := t.rows[k]
+		row := t.rows[k].entries
 		for i := 0; i < len(row); i++ {
 			for j := i + 1; j < len(row); j++ {
 				if row[i].Start != row[j].Start && row[i].Expr.Compatible(row[j].Expr) {
@@ -221,38 +287,51 @@ func (t *Table) Validate(g *cpg.Graph, paths []*cpg.Path) []Violation {
 			}
 		}
 	}
-	// Requirement 3.
-	for _, p := range paths {
-		for _, k := range t.keys {
-			var active bool
-			if k.IsCond {
-				def := g.Condition(k.Cond)
-				active = def != nil && p.IsActive(def.Decider)
-			} else {
-				active = p.IsActive(k.Proc) && !g.Process(k.Proc).IsDummy()
-			}
-			if !active {
-				continue
-			}
-			app := t.Applicable(k, p.Label)
-			if len(app) == 0 {
+	// Requirement 3, one independent check per path.
+	perPath := make([][]Violation, len(paths))
+	pool.ForEachIndex(len(paths), workers, func(i int) {
+		perPath[i] = t.validatePath(g, paths[i])
+	})
+	for _, v := range perPath {
+		out = append(out, v...)
+	}
+	return out
+}
+
+// validatePath checks requirement 3 on one alternative path. It only reads
+// the table, so concurrent calls are safe.
+func (t *Table) validatePath(g *cpg.Graph, p *cpg.Path) []Violation {
+	var out []Violation
+	var app []Entry
+	for _, k := range t.keys {
+		var active bool
+		if k.IsCond {
+			def := g.Condition(k.Cond)
+			active = def != nil && p.IsActive(def.Decider)
+		} else {
+			active = p.IsActive(k.Proc) && !g.Process(k.Proc).IsDummy()
+		}
+		if !active {
+			continue
+		}
+		app = t.AppendApplicable(app[:0], k, p.Label)
+		if len(app) == 0 {
+			out = append(out, Violation{
+				Requirement: 3,
+				Key:         k,
+				Detail:      fmt.Sprintf("no activation time applies on path %s", p.Label.Format(g.CondName)),
+			})
+			continue
+		}
+		first := app[0].Start
+		for _, e := range app[1:] {
+			if e.Start != first {
 				out = append(out, Violation{
 					Requirement: 3,
 					Key:         k,
-					Detail:      fmt.Sprintf("no activation time applies on path %s", p.Label.Format(g.CondName)),
+					Detail:      fmt.Sprintf("ambiguous activation times on path %s", p.Label.Format(g.CondName)),
 				})
-				continue
-			}
-			first := app[0].Start
-			for _, e := range app[1:] {
-				if e.Start != first {
-					out = append(out, Violation{
-						Requirement: 3,
-						Key:         k,
-						Detail:      fmt.Sprintf("ambiguous activation times on path %s", p.Label.Format(g.CondName)),
-					})
-					break
-				}
+				break
 			}
 		}
 	}
@@ -284,7 +363,7 @@ func (t *Table) Render(opt RenderOptions) string {
 	}
 	rows := [][]string{header}
 	for _, k := range t.keys {
-		entries := t.rows[k]
+		entries := t.rows[k].entries
 		if opt.SkipEmptyRows && len(entries) == 0 {
 			continue
 		}

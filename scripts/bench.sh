@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# Runs the performance-tracking benchmark suite and writes BENCH_results.json
+# at the repository root. Override the selection or duration via BENCH /
+# BENCHTIME, and attach a free-text note (e.g. a before/after comparison) via
+# NOTE:
+#
+#   scripts/bench.sh
+#   BENCHTIME=3s NOTE="after heap scheduler" scripts/bench.sh
+#
+# The benchmark text output is echoed to stderr so it stays visible while
+# stdout feeds the JSON converter.
+set -eu
+cd "$(dirname "$0")/.."
+
+BENCH="${BENCH:-BenchmarkTable1Figure1|BenchmarkScheduleRunParallel|BenchmarkScheduleParallelPaths|BenchmarkListSchedule120|BenchmarkListschedInner|BenchmarkValidateParallel|BenchmarkFig5Sweep}"
+BENCHTIME="${BENCHTIME:-1s}"
+NOTE="${NOTE:-}"
+
+go test -run=NONE -bench "$BENCH" -benchmem -benchtime "$BENCHTIME" . \
+  | tee /dev/stderr \
+  | go run ./cmd/benchjson -note "$NOTE" > BENCH_results.json
+echo "wrote BENCH_results.json" >&2
