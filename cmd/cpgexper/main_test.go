@@ -70,3 +70,19 @@ func TestExperimentUnknown(t *testing.T) {
 		t.Fatalf("unknown flag must fail")
 	}
 }
+
+func TestExperimentAblation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "ablate", "-graphs", "1", "-progress=false"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "Ablation:") {
+		t.Fatalf("ablation header missing:\n%s", s)
+	}
+	for _, policy := range []string{"largest-delay", "smallest-delay", "first"} {
+		if !strings.Contains(s, policy) {
+			t.Fatalf("ablation output missing policy %q:\n%s", policy, s)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 // Command cpggen generates a random conditional process graph together with
 // a random architecture, using the structural parameters of the paper's
-// experimental evaluation, and writes it in the JSON interchange format.
+// experimental evaluation, and writes it as a versioned v1 problem document
+// (the single-document format consumed by cpgsched, cpgsim and cpgserve).
 //
 // Usage:
 //
@@ -15,6 +16,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/textio"
 )
@@ -75,7 +77,7 @@ func run(args []string, out io.Writer) error {
 		defer f.Close()
 		w = f
 	}
-	if err := textio.Write(w, inst.Graph, inst.Arch); err != nil {
+	if err := textio.WriteProblem(w, textio.EncodeProblem(inst.Graph, inst.Arch, core.Options{})); err != nil {
 		return err
 	}
 	if *dot != "" {

@@ -1,27 +1,33 @@
 // Command cpgsched generates the schedule table for a conditional process
-// graph described in the JSON interchange format of this repository.
+// graph described in the versioned v1 problem document format (cpggen and
+// `cpgserve /v1/generate` emit it; the pre-versioned format is still read as
+// a deprecated fallback).
 //
 // Usage:
 //
 //	cpgsched -in problem.json [-selection largest|smallest|first]
 //	         [-priority cp|order] [-conflicts move|delay] [-workers N]
-//	         [-gantt] [-dot out.dot] [-quiet]
+//	         [-gantt] [-dot out.dot] [-solution out.json] [-quiet]
 //
-// The command prints the delays of the alternative paths, δM, δmax, the
-// merging statistics and the schedule table (in the style of Table 1 of the
-// paper). With -gantt it additionally prints the optimal schedule of every
-// path as a time chart; with -dot it writes a Graphviz rendering of the
-// graph.
+// Scheduling options embedded in the document (its "options" member) are the
+// defaults; command line flags override them. The command prints the delays
+// of the alternative paths, δM, δmax, the merging statistics and the
+// schedule table (in the style of Table 1 of the paper). With -gantt it
+// additionally prints the optimal schedule of every path as a time chart;
+// with -dot it writes a Graphviz rendering of the graph; with -solution it
+// writes the v1 solution document. Interrupting the command (Ctrl-C)
+// cancels the run promptly, even in the middle of a long merge.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 
 	"repro/internal/core"
-	"repro/internal/listsched"
 	"repro/internal/table"
 	"repro/internal/textio"
 )
@@ -37,19 +43,22 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("cpgsched", flag.ContinueOnError)
 	fs.SetOutput(out)
 	in := fs.String("in", "", "problem JSON file (default: stdin)")
-	selection := fs.String("selection", "largest", "path selection after back-steps: largest, smallest or first")
-	priority := fs.String("priority", "cp", "list scheduling priority for individual paths: cp (critical path) or order")
-	conflicts := fs.String("conflicts", "move", "conflict resolution: move (Theorem 2) or delay")
+	selection := fs.String("selection", "", "path selection after back-steps: largest, smallest or first (default: document options)")
+	priority := fs.String("priority", "", "list scheduling priority for individual paths: cp (critical path) or order (default: document options)")
+	conflicts := fs.String("conflicts", "", "conflict resolution: move (Theorem 2) or delay (default: document options)")
 	gantt := fs.Bool("gantt", false, "print the optimal schedule of every path as a time chart")
 	dispatch := fs.Bool("dispatch", false, "print the per-processing-element dispatch tables")
 	dot := fs.String("dot", "", "write a Graphviz DOT rendering of the graph to this file")
 	csvOut := fs.String("csv", "", "write the schedule table as CSV to this file")
 	jsonOut := fs.String("table-json", "", "write the schedule table as JSON to this file")
+	solOut := fs.String("solution", "", "write the v1 solution document to this file")
 	workers := fs.Int("workers", 0, "worker goroutines for path scheduling (0 = all CPUs, 1 = sequential)")
 	quiet := fs.Bool("quiet", false, "print only the delays")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
 
 	var r io.Reader = os.Stdin
 	if *in != "" {
@@ -60,37 +69,36 @@ func run(args []string, out io.Writer) error {
 		defer f.Close()
 		r = f
 	}
-	g, a, err := textio.Read(r)
+	doc, legacy, err := textio.ReadProblemOrLegacy(r)
+	if err != nil {
+		return err
+	}
+	if legacy {
+		fmt.Fprintln(os.Stderr, "cpgsched: note: input uses the deprecated unversioned format; regenerate it with cpggen to get a v1 problem document")
+	}
+	g, a, opts, err := textio.DecodeProblem(doc)
 	if err != nil {
 		return err
 	}
 
-	opts := core.Options{Workers: *workers}
-	switch *selection {
-	case "largest":
-		opts.PathSelection = core.SelectLargestDelay
-	case "smallest":
-		opts.PathSelection = core.SelectSmallestDelay
-	case "first":
-		opts.PathSelection = core.SelectFirst
-	default:
-		return fmt.Errorf("unknown -selection %q", *selection)
+	// The document options are the defaults; explicitly passed flags win.
+	if *selection != "" {
+		if opts.PathSelection, err = textio.ParseSelection(*selection); err != nil {
+			return err
+		}
 	}
-	switch *priority {
-	case "cp":
-		opts.PathPriority = listsched.PriorityCriticalPath
-	case "order":
-		opts.PathPriority = listsched.PriorityFixedOrder
-	default:
-		return fmt.Errorf("unknown -priority %q", *priority)
+	if *priority != "" {
+		if opts.PathPriority, err = textio.ParsePriority(*priority); err != nil {
+			return err
+		}
 	}
-	switch *conflicts {
-	case "move":
-		opts.ConflictPolicy = core.ConflictMoveToExisting
-	case "delay":
-		opts.ConflictPolicy = core.ConflictDelayToLatest
-	default:
-		return fmt.Errorf("unknown -conflicts %q", *conflicts)
+	if *conflicts != "" {
+		if opts.ConflictPolicy, err = textio.ParseConflicts(*conflicts); err != nil {
+			return err
+		}
+	}
+	if set["workers"] {
+		opts.Workers = *workers
 	}
 
 	if *dot != "" {
@@ -99,7 +107,10 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
-	res, err := core.Schedule(g, a, opts)
+	// Ctrl-C cancels the run between back-steps of the merge.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	res, err := core.ScheduleContext(ctx, g, a, opts)
 	if err != nil {
 		return err
 	}
@@ -140,6 +151,19 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		if err := textio.WriteTableJSON(f, g, res.Table); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if *solOut != "" {
+		f, err := os.Create(*solOut)
+		if err != nil {
+			return err
+		}
+		if err := textio.WriteSolution(f, textio.EncodeSolution(res)); err != nil {
 			f.Close()
 			return err
 		}

@@ -2,11 +2,13 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/textio"
 )
@@ -95,5 +97,68 @@ func TestScheduleCommandErrors(t *testing.T) {
 	}
 	if err := run([]string{"-in", path, "-conflicts", "weird"}, &out); err == nil {
 		t.Fatalf("unknown conflict policy must fail")
+	}
+}
+
+// writeProblemV1 writes a v1 problem document with embedded options.
+func writeProblemV1(t *testing.T, workers int) string {
+	t.Helper()
+	inst, err := gen.Generate(gen.Config{Seed: 3, Nodes: 30, TargetPaths: 4, Processors: 2, Hardware: 1, Buses: 1})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	doc := textio.EncodeProblem(inst.Graph, inst.Arch, core.Options{PathSelection: core.SelectSmallestDelay, Workers: workers})
+	path := filepath.Join(t.TempDir(), "problem_v1.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	defer f.Close()
+	if err := textio.WriteProblem(f, doc); err != nil {
+		t.Fatalf("WriteProblem: %v", err)
+	}
+	return path
+}
+
+func TestScheduleCommandV1DocumentOptions(t *testing.T) {
+	path := writeProblemV1(t, 1)
+	var out bytes.Buffer
+	if err := run([]string{"-in", path}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "deterministic = true") {
+		t.Fatalf("schedule output unexpected:\n%s", out.String())
+	}
+	// Flags override the document options; a bad override is rejected.
+	if err := run([]string{"-in", path, "-selection", "weird"}, &out); err == nil {
+		t.Fatalf("bad -selection override must fail")
+	}
+}
+
+func TestScheduleCommandSolutionOutput(t *testing.T) {
+	path := writeProblemV1(t, 1)
+	sol := filepath.Join(t.TempDir(), "solution.json")
+	var out bytes.Buffer
+	if err := run([]string{"-in", path, "-quiet", "-solution", sol}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(sol)
+	if err != nil {
+		t.Fatalf("solution file: %v", err)
+	}
+	var doc textio.SolutionDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("solution not valid JSON: %v", err)
+	}
+	if doc.Version != textio.ProblemVersion || doc.TableText == "" || doc.DeltaMax < doc.DeltaM {
+		t.Fatalf("solution document unexpected: version %q, δ %d/%d", doc.Version, doc.DeltaM, doc.DeltaMax)
+	}
+}
+
+func TestScheduleCommandNegativeWorkers(t *testing.T) {
+	path := writeProblem(t)
+	var out bytes.Buffer
+	if err := run([]string{"-in", path, "-workers", "-1"}, &out); err == nil {
+		t.Fatalf("negative -workers must fail")
 	}
 }

@@ -1,0 +1,261 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/service"
+	"repro/internal/table"
+	"repro/internal/textio"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv, err := newServer(service.Config{Workers: 2}, 8<<20)
+	if err != nil {
+		t.Fatalf("newServer: %v", err)
+	}
+	ts := httptest.NewServer(srv.routes(nil))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestNewServerNegativeBudget(t *testing.T) {
+	if _, err := newServer(service.Config{Workers: -4}, 8<<20); err == nil {
+		t.Fatalf("negative -workers budget must be rejected")
+	}
+}
+
+func figure1Doc(t *testing.T) []byte {
+	t.Helper()
+	data, err := os.ReadFile("../../testdata/figure1_v1.json")
+	if err != nil {
+		t.Fatalf("reading figure1 problem document: %v", err)
+	}
+	return data
+}
+
+func postJSON(t *testing.T, url string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatalf("reading response: %v", err)
+	}
+	return resp, buf.Bytes()
+}
+
+// TestScheduleEndpointMatchesInProcess pins the acceptance property: the
+// table served for the Figure 1 problem is byte-identical to the in-process
+// core.Schedule rendering, and the second identical request is answered from
+// the memo cache, observable through the cache counters of the response.
+func TestScheduleEndpointMatchesInProcess(t *testing.T) {
+	ts := testServer(t)
+	doc := figure1Doc(t)
+
+	resp, body := postJSON(t, ts.URL+"/v1/schedule", doc)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var sol textio.SolutionDoc
+	if err := json.Unmarshal(body, &sol); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+
+	g, a, err := expr.Figure1()
+	if err != nil {
+		t.Fatalf("Figure1: %v", err)
+	}
+	want, err := core.Schedule(g, a, core.Options{})
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	wantText := want.Table.Render(table.RenderOptions{Namer: g.CondName, RowName: want.RowName})
+	if sol.TableText != wantText {
+		t.Fatalf("served table differs from in-process table:\n%s\nvs\n%s", sol.TableText, wantText)
+	}
+	if sol.DeltaM != want.DeltaM || sol.DeltaMax != want.DeltaMax {
+		t.Fatalf("delays differ: %d/%d vs %d/%d", sol.DeltaM, sol.DeltaMax, want.DeltaM, want.DeltaMax)
+	}
+	if sol.Cache == nil || sol.Cache.Hit {
+		t.Fatalf("first request must report a cache miss: %+v", sol.Cache)
+	}
+
+	resp, body = postJSON(t, ts.URL+"/v1/schedule", doc)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var again textio.SolutionDoc
+	if err := json.Unmarshal(body, &again); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if again.Cache == nil || !again.Cache.Hit || again.Cache.Hits < 1 {
+		t.Fatalf("second identical request must hit the cache: %+v", again.Cache)
+	}
+	if again.TableText != sol.TableText {
+		t.Fatalf("cached table differs from computed table")
+	}
+	if again.Cache.ProblemHash != sol.Cache.ProblemHash {
+		t.Fatalf("problem hash changed between identical requests")
+	}
+}
+
+func TestScheduleEndpointWorkersParam(t *testing.T) {
+	ts := testServer(t)
+	doc := figure1Doc(t)
+	resp, body := postJSON(t, ts.URL+"/v1/schedule?workers=1", doc)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	resp, body = postJSON(t, ts.URL+"/v1/schedule?workers=-1", doc)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative workers must yield 400, got %d: %s", resp.StatusCode, body)
+	}
+	var env struct {
+		Error struct {
+			Status  int    `json:"status"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatalf("error envelope not JSON: %v in %s", err, body)
+	}
+	if env.Error.Status != http.StatusBadRequest || !strings.Contains(env.Error.Message, "workers") {
+		t.Fatalf("error envelope unexpected: %+v", env.Error)
+	}
+}
+
+func TestScheduleEndpointRejectsBadDocuments(t *testing.T) {
+	ts := testServer(t)
+	for name, body := range map[string]string{
+		"not json":        "{",
+		"wrong version":   `{"version":"v9"}`,
+		"unknown field":   `{"version":"v1","bogus":1}`,
+		"missing version": `{"name":"x"}`,
+	} {
+		resp, out := postJSON(t, ts.URL+"/v1/schedule", []byte(body))
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400: %s", name, resp.StatusCode, out)
+		}
+		if !bytes.Contains(out, []byte(`"error"`)) {
+			t.Fatalf("%s: missing error envelope: %s", name, out)
+		}
+	}
+	// Wrong method gets a plain 405 from the router.
+	resp, err := http.Get(ts.URL + "/v1/schedule")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/schedule: status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestSimulateEndpoint(t *testing.T) {
+	ts := testServer(t)
+	doc := figure1Doc(t)
+	resp, body := postJSON(t, ts.URL+"/v1/simulate", doc)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var sim simulateDoc
+	if err := json.Unmarshal(body, &sim); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(sim.Traces) != 6 {
+		t.Fatalf("figure 1 has 6 alternative paths, got %d traces", len(sim.Traces))
+	}
+	for _, tr := range sim.Traces {
+		if len(tr.Violations) != 0 {
+			t.Fatalf("unexpected violations on %s: %v", tr.Label, tr.Violations)
+		}
+		if len(tr.Activations) == 0 {
+			t.Fatalf("trace %s has no activations", tr.Label)
+		}
+	}
+
+	resp, body = postJSON(t, ts.URL+"/v1/simulate?cond=C%3D1%2CD%3D0", doc)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &sim); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(sim.Traces) != 1 {
+		t.Fatalf("C=1,D=0 selects one path, got %d", len(sim.Traces))
+	}
+
+	resp, body = postJSON(t, ts.URL+"/v1/simulate?cond=Z%3D1", doc)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown condition must yield 400, got %d: %s", resp.StatusCode, body)
+	}
+}
+
+func TestGenerateEndpointRoundTrips(t *testing.T) {
+	ts := testServer(t)
+	resp, body := postJSON(t, ts.URL+"/v1/generate", []byte(`{"seed":3,"nodes":30,"paths":4,"processors":2,"hardware":1,"buses":1}`))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var prob textio.ProblemDoc
+	if err := json.Unmarshal(body, &prob); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if prob.Version != textio.ProblemVersion {
+		t.Fatalf("generated problem version %q", prob.Version)
+	}
+	// The generated problem schedules through the same server.
+	resp, body = postJSON(t, ts.URL+"/v1/schedule", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("scheduling generated problem: status %d: %s", resp.StatusCode, body)
+	}
+
+	resp, body = postJSON(t, ts.URL+"/v1/generate", []byte(`{"dist":"weird"}`))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad distribution must yield 400, got %d: %s", resp.StatusCode, body)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts := testServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var doc healthDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if doc.Status != "ok" || doc.Workers < 1 {
+		t.Fatalf("health unexpected: %+v", doc)
+	}
+}
+
+func TestOversizedBodyGets413(t *testing.T) {
+	srv, err := newServer(service.Config{Workers: 1}, 64)
+	if err != nil {
+		t.Fatalf("newServer: %v", err)
+	}
+	ts := httptest.NewServer(srv.routes(nil))
+	t.Cleanup(ts.Close)
+	resp, body := postJSON(t, ts.URL+"/v1/schedule", figure1Doc(t))
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body must yield 413, got %d: %s", resp.StatusCode, body)
+	}
+}

@@ -13,14 +13,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"sort"
-	"strings"
 
-	"repro/internal/cond"
 	"repro/internal/core"
 	"repro/internal/cpg"
 	"repro/internal/sim"
@@ -53,31 +53,38 @@ func run(args []string, out io.Writer) error {
 		defer f.Close()
 		r = f
 	}
-	g, a, err := textio.Read(r)
+	doc, legacy, err := textio.ReadProblemOrLegacy(r)
 	if err != nil {
 		return err
 	}
-	res, err := core.Schedule(g, a, core.Options{})
+	if legacy {
+		fmt.Fprintln(os.Stderr, "cpgsim: note: input uses the deprecated unversioned format; regenerate it with cpggen to get a v1 problem document")
+	}
+	g, a, opts, err := textio.DecodeProblem(doc)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	sol, err := core.ScheduleContext(ctx, g, a, opts)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(out, "schedule table generated: deltaM=%d deltaMax=%d deterministic=%v\n",
-		res.DeltaM, res.DeltaMax, res.Deterministic())
+		sol.DeltaM, sol.DeltaMax, sol.Deterministic())
 
-	paths, err := g.AlternativePaths(0)
-	if err != nil {
-		return err
-	}
-	selected := paths
+	// The scheduling result carries the subgraph of every alternative path;
+	// re-enact against those instead of re-extracting them.
+	selected := sol.Subgraphs
 	if *condSpec != "" {
-		label, err := parseConds(g, *condSpec)
+		label, err := textio.ParseConds(g, *condSpec)
 		if err != nil {
 			return err
 		}
 		selected = nil
-		for _, p := range paths {
-			if p.Label.Implies(label) {
-				selected = append(selected, p)
+		for _, sub := range sol.Subgraphs {
+			if sub.Label.Implies(label) {
+				selected = append(selected, sub)
 			}
 		}
 		if len(selected) == 0 {
@@ -85,13 +92,13 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
-	for _, p := range selected {
-		tr, err := sim.Run(g, a, res.Table, p)
+	for _, sub := range selected {
+		tr, err := sim.RunSubgraph(sub, a, sol.Table)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "\npath %s: completion time %d, violations %d\n",
-			p.Label.Format(g.CondName), tr.Delay, len(tr.Violations))
+			sub.Label.Format(g.CondName), tr.Delay, len(tr.Violations))
 		for _, v := range tr.Violations {
 			fmt.Fprintf(out, "  violation: %s\n", v)
 		}
@@ -100,47 +107,6 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	return nil
-}
-
-// parseConds parses "C=1,K=0" into a cube using the graph's condition names.
-func parseConds(g *cpg.Graph, spec string) (cond.Cube, error) {
-	label := cond.True()
-	for _, part := range strings.Split(spec, ",") {
-		part = strings.TrimSpace(part)
-		if part == "" {
-			continue
-		}
-		kv := strings.SplitN(part, "=", 2)
-		if len(kv) != 2 {
-			return cond.Cube{}, fmt.Errorf("malformed condition assignment %q", part)
-		}
-		name := strings.TrimSpace(kv[0])
-		var id cond.Cond = cond.None
-		for _, cd := range g.Conditions() {
-			if cd.Name == name {
-				id = cd.ID
-			}
-		}
-		if id == cond.None {
-			return cond.Cube{}, fmt.Errorf("unknown condition %q", name)
-		}
-		val := strings.TrimSpace(kv[1])
-		var v bool
-		switch val {
-		case "1", "true", "T":
-			v = true
-		case "0", "false", "F":
-			v = false
-		default:
-			return cond.Cube{}, fmt.Errorf("malformed condition value %q", val)
-		}
-		var ok bool
-		label, ok = label.With(id, v)
-		if !ok {
-			return cond.Cube{}, fmt.Errorf("contradictory assignment for condition %q", name)
-		}
-	}
-	return label, nil
 }
 
 // printTrace prints one execution trace ordered by activation time.

@@ -10,9 +10,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
+	"repro"
 	"repro/internal/atm"
 	"repro/internal/core"
 	"repro/internal/expr"
@@ -48,4 +51,34 @@ func main() {
 		m1.Delays["1P/1M Pentium"], m1.Delays["2P/1M 2xPentium"])
 	fmt.Printf("  a second memory module pays off only for two Pentiums in mode 1: %d -> %d\n",
 		m1.Delays["2P/1M 2xPentium"], m1.Delays["2P/2M 2xPentium"])
+
+	// The same study through the versioned document/service API: mode 1 on
+	// the single-486 configuration is bundled into a v1 problem document
+	// (what a cpgserve client would POST) and scheduled twice through a
+	// service — the second run is answered from the content-hash memo.
+	g, a, err := atm.Build(atm.Mode1, atm.StandardConfigs()[0], atm.MapAllFirst)
+	if err != nil {
+		log.Fatal(err)
+	}
+	doc := repro.EncodeProblem(g, a, repro.Options{})
+	req, err := repro.ProblemFromDoc(doc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	svc, err := repro.NewService(repro.ServiceConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	first, err := svc.Schedule(ctx, req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	second, err := svc.Schedule(ctx, req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmode 1 on %s as a v1 problem document: δmax = %d ns, cache hit on re-run = %v\n",
+		atm.StandardConfigs()[0].Label(), first.DeltaMax, second.CacheHit)
 }

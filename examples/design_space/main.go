@@ -4,12 +4,17 @@
 // how the guaranteed worst-case delay δmax changes — the performance
 // estimation use-case motivated in the introduction of the paper.
 //
+// All architecture variants are scheduled in one ScheduleBatch call: the
+// service fans the independent problems out under its global worker budget
+// and returns the solutions in input order.
+//
 // Run with:
 //
 //	go run ./examples/design_space
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -26,8 +31,9 @@ func main() {
 	)
 	fmt.Printf("application: %d processes, %d alternative paths (seed %d)\n\n", nodes, paths, seed)
 
-	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "processors\tbuses\tδM\tδmax\tincrease\tmerge time")
+	type variant struct{ processors, buses int }
+	var variants []variant
+	var problems []*repro.Problem
 	for _, processors := range []int{1, 2, 3, 4, 6} {
 		for _, buses := range []int{1, 2} {
 			// The same seed keeps the application identical; only the
@@ -43,13 +49,26 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			res, err := repro.Schedule(inst.Graph, inst.Arch, repro.Options{})
-			if err != nil {
-				log.Fatal(err)
-			}
-			fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%.2f%%\t%v\n",
-				processors, buses, res.DeltaM, res.DeltaMax, res.IncreasePercent(), res.Stats.MergeTime)
+			variants = append(variants, variant{processors, buses})
+			problems = append(problems, &repro.Problem{Graph: inst.Graph, Arch: inst.Arch})
 		}
+	}
+
+	svc, err := repro.NewService(repro.ServiceConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sols, err := svc.ScheduleBatch(context.Background(), problems)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "processors\tbuses\tδM\tδmax\tincrease\tmerge time")
+	for i, sol := range sols {
+		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%.2f%%\t%v\n",
+			variants[i].processors, variants[i].buses,
+			sol.DeltaM, sol.DeltaMax, sol.IncreasePercent(), sol.Stats.MergeTime)
 	}
 	w.Flush()
 

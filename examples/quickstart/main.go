@@ -1,6 +1,6 @@
 // Quickstart: build a small conditional process graph by hand, map it onto a
-// two-processor architecture, generate the schedule table and inspect the
-// result.
+// two-processor architecture, generate the schedule table through the
+// scheduling service and inspect the result.
 //
 // Run with:
 //
@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -44,11 +45,19 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Generate the schedule table that minimises the worst-case delay.
-	res, err := repro.Schedule(g, a, repro.Options{})
+	// Generate the schedule table that minimises the worst-case delay. The
+	// service front end adds cancellation, a shared worker budget and a
+	// solved-problem memo on top of repro.Schedule; one service instance
+	// would normally be shared by the whole program.
+	svc, err := repro.NewService(repro.ServiceConfig{})
 	if err != nil {
 		log.Fatal(err)
 	}
+	sol, err := svc.Schedule(context.Background(), &repro.Problem{Graph: g, Arch: a})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := sol.Result
 
 	fmt.Printf("alternative paths: %d\n", len(res.Paths))
 	for _, p := range res.Paths {
@@ -76,4 +85,13 @@ func main() {
 		fmt.Printf("  %-8s finishes at %2d, violations: %d\n",
 			p.Label.Format(g.CondName), tr.Delay, len(tr.Violations))
 	}
+
+	// Asking the service again for the same problem is answered from its
+	// memo: the content hash of the problem document identifies the run.
+	again, err := svc.Schedule(context.Background(), &repro.Problem{Graph: g, Arch: a})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nrescheduling the same problem: cache hit = %v (hash %.12s…)\n",
+		again.CacheHit, again.ProblemHash)
 }

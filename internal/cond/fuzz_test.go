@@ -1,0 +1,63 @@
+package cond
+
+import "testing"
+
+// FuzzCube drives a cube through an arbitrary sequence of With operations
+// and checks the algebraic invariants the merging algorithm relies on
+// (Theorem 1/2 reasoning is built on these): literals stay strictly sorted,
+// self-implication and self-compatibility hold, contradictory extensions are
+// refused, and the byte key is canonical. Run with
+// `go test -fuzz FuzzCube ./internal/cond`.
+func FuzzCube(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 0, 5, 1})
+	f.Add([]byte{7, 7, 7})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		c := True()
+		for _, op := range ops {
+			x := Cond(op >> 1 & 0x0f)
+			v := op&1 == 1
+			next, ok := c.With(x, v)
+			if have, known := c.Value(x); known {
+				// Re-asserting a known value must succeed iff it matches.
+				if ok != (have == v) {
+					t.Fatalf("With(%d,%v) ok=%v but cube has %v", x, v, ok, have)
+				}
+				if ok && !next.Equal(c) {
+					t.Fatalf("re-asserting a literal changed the cube")
+				}
+			} else if !ok {
+				t.Fatalf("adding a fresh literal must succeed")
+			}
+			if ok {
+				c = next
+			}
+		}
+		lits := c.Lits()
+		for i := 1; i < len(lits); i++ {
+			if lits[i-1].Cond >= lits[i].Cond {
+				t.Fatalf("literals not strictly sorted: %v", lits)
+			}
+		}
+		if !c.Implies(c) || !c.Equal(c) || !c.Compatible(c) {
+			t.Fatalf("self relations violated for %s", c)
+		}
+		if !c.Implies(True()) {
+			t.Fatalf("every cube implies true")
+		}
+		if !True().Compatible(c) {
+			t.Fatalf("true is compatible with every cube")
+		}
+		and, ok := c.And(c)
+		if !ok || !and.Equal(c) {
+			t.Fatalf("c AND c must be c")
+		}
+		rebuilt := True()
+		for _, l := range lits {
+			rebuilt = rebuilt.MustWith(l.Cond, l.Val)
+		}
+		if rebuilt.Key() != c.Key() {
+			t.Fatalf("key not canonical: %q vs %q", rebuilt.Key(), c.Key())
+		}
+	})
+}

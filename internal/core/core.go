@@ -21,6 +21,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -107,11 +108,21 @@ type Options struct {
 	MaxPaths int
 	// Workers bounds the number of goroutines scheduling the alternative
 	// paths concurrently, and — after the merge — re-enacting and
-	// validating them (0 = GOMAXPROCS, 1 = sequential). The result is
-	// identical for every worker count: per-path results are collected in
-	// path enumeration order and the merging itself stays sequential.
+	// validating them (0 = GOMAXPROCS, 1 = sequential). Negative values
+	// are rejected by Schedule with an error; they are never treated as
+	// sequential. The result is identical for every worker count: per-path
+	// results are collected in path enumeration order and the merging
+	// itself stays sequential.
+	//
+	// Callers going through a service.Service are subject to the service's
+	// global worker budget, which overrides this field: the service clamps
+	// Workers to the tokens it could actually acquire, so a per-call
+	// request never exceeds the budget shared across concurrent requests.
 	Workers int
 }
+
+// ErrNegativeWorkers is returned by Schedule when Options.Workers < 0.
+var ErrNegativeWorkers = errors.New("core: Options.Workers must be >= 0 (0 = GOMAXPROCS)")
 
 // Stats summarises the work done by the merging algorithm.
 type Stats struct {
@@ -204,6 +215,7 @@ type pathInfo struct {
 }
 
 type merger struct {
+	ctx   context.Context
 	g     *cpg.Graph
 	a     *arch.Architecture
 	opt   Options
@@ -216,10 +228,46 @@ type merger struct {
 }
 
 // Schedule generates the schedule table for the graph on the given
-// architecture and evaluates it (δM, δmax, validation).
+// architecture and evaluates it (δM, δmax, validation). It is
+// ScheduleContext with a background context.
 func Schedule(g *cpg.Graph, a *arch.Architecture, opt Options) (*Result, error) {
+	return ScheduleContext(context.Background(), g, a, opt)
+}
+
+// Phases reported to a PhaseFunc, in run order.
+const (
+	// PhaseMerge begins when the parallel path fan-out is done and the
+	// sequential merge starts.
+	PhaseMerge = "merge"
+	// PhaseValidate begins when the merge is done and the parallel
+	// validation/re-enactment starts.
+	PhaseValidate = "validate"
+)
+
+// PhaseFunc observes the transitions between the phases of a run and bounds
+// the parallelism of the upcoming phase: it receives the phase name and the
+// worker count the phase would use, and returns the count the phase may
+// actually use (clamped to at least 1). The scheduling service uses it to
+// hand back unused worker-budget tokens during the sequential merge and to
+// reclaim what is free again for the validation fan-out.
+type PhaseFunc func(phase string, want int) int
+
+// ScheduleContext is Schedule with cancellation: the context is checked
+// before every path-scheduling job of the fan-out and between the back-steps
+// of the merge loop, so a long merge aborts promptly (returning ctx.Err())
+// when the caller cancels or times out.
+func ScheduleContext(ctx context.Context, g *cpg.Graph, a *arch.Architecture, opt Options) (*Result, error) {
+	return SchedulePhased(ctx, g, a, opt, nil)
+}
+
+// SchedulePhased is ScheduleContext reporting phase transitions to phases
+// (which may be nil).
+func SchedulePhased(ctx context.Context, g *cpg.Graph, a *arch.Architecture, opt Options, phases PhaseFunc) (*Result, error) {
 	if g == nil || a == nil {
 		return nil, errors.New("core: nil graph or architecture")
+	}
+	if opt.Workers < 0 {
+		return nil, fmt.Errorf("%w; got %d", ErrNegativeWorkers, opt.Workers)
 	}
 	if err := a.Validate(); err != nil {
 		return nil, err
@@ -233,10 +281,10 @@ func Schedule(g *cpg.Graph, a *arch.Architecture, opt Options) (*Result, error) 
 	if err != nil {
 		return nil, err
 	}
-	m := &merger{g: g, a: a, opt: opt, tbl: table.New()}
+	m := &merger{ctx: ctx, g: g, a: a, opt: opt, tbl: table.New()}
 	var deltaM int64
 	tPathSched := time.Now()
-	infos, err := schedulePaths(g, a, opt, paths)
+	infos, err := schedulePaths(ctx, g, a, opt, paths)
 	if err != nil {
 		return nil, err
 	}
@@ -253,7 +301,10 @@ func Schedule(g *cpg.Graph, a *arch.Architecture, opt Options) (*Result, error) 
 	m.stats.Paths = len(paths)
 	m.stats.PathSchedulingTime = time.Since(tPathSched)
 
-	// Merge.
+	// Merge (sequential: a single goroutine walks the decision tree).
+	if phases != nil {
+		phases(PhaseMerge, 1)
+	}
 	tMerge := time.Now()
 	start := m.selectPath(cond.True())
 	if start == nil {
@@ -265,6 +316,10 @@ func Schedule(g *cpg.Graph, a *arch.Architecture, opt Options) (*Result, error) 
 	m.stats.MergeTime = time.Since(tMerge)
 	m.stats.Columns = len(m.tbl.Columns())
 	m.stats.Entries = m.tbl.NumEntries()
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Evaluate the table: structural validation and per-path re-enactment
 	// run on the same worker pool as the path scheduling, reusing the
@@ -278,9 +333,17 @@ func Schedule(g *cpg.Graph, a *arch.Architecture, opt Options) (*Result, error) 
 		DeltaM:    deltaM,
 		Stats:     m.stats,
 	}
+	validateWorkers := opt.Workers
+	if phases != nil {
+		if w := phases(PhaseValidate, opt.Workers); w >= 1 {
+			validateWorkers = w
+		} else {
+			validateWorkers = 1
+		}
+	}
 	tValidate := time.Now()
-	res.TableViolations = m.tbl.ValidateParallel(g, paths, opt.Workers)
-	simRes, err := sim.WorstCaseSubgraphs(a, m.tbl, subgraphs, opt.Workers)
+	res.TableViolations = m.tbl.ValidateParallel(g, paths, validateWorkers)
+	simRes, err := sim.WorstCaseSubgraphs(a, m.tbl, subgraphs, validateWorkers)
 	if err != nil {
 		return nil, err
 	}
@@ -303,7 +366,7 @@ func Schedule(g *cpg.Graph, a *arch.Architecture, opt Options) (*Result, error) 
 // exclusively to its own result slot, so the fan-out is race-free; results
 // come back indexed by path so the outcome is identical to the sequential
 // loop regardless of worker count or completion order.
-func schedulePaths(g *cpg.Graph, a *arch.Architecture, opt Options, paths []*cpg.Path) ([]*pathInfo, error) {
+func schedulePaths(ctx context.Context, g *cpg.Graph, a *arch.Architecture, opt Options, paths []*cpg.Path) ([]*pathInfo, error) {
 	infos := make([]*pathInfo, len(paths))
 	errs := make([]error, len(paths))
 	var failed atomic.Bool
@@ -313,6 +376,11 @@ func schedulePaths(g *cpg.Graph, a *arch.Architecture, opt Options, paths []*cpg
 	pool.ForEachIndexWorker(len(paths), opt.Workers, func(worker, i int) {
 		if failed.Load() {
 			return // another path already failed; skip the remaining work
+		}
+		if err := ctx.Err(); err != nil {
+			errs[i] = err
+			failed.Store(true)
+			return
 		}
 		p := paths[i]
 		sub := g.Subgraph(p)
@@ -443,6 +511,12 @@ func (m *merger) explore(pi *pathInfo, cur *sched.PathSchedule, fixed map[sched.
 		m.steps++
 		if m.steps > 10000*(len(m.paths)+1) {
 			return errors.New("core: merging did not converge (safety bound exceeded)")
+		}
+		// The merge is sequential and a single back-step can reschedule a
+		// whole path, so this per-step check is what makes cancellation of
+		// a long merge prompt.
+		if err := m.ctx.Err(); err != nil {
+			return err
 		}
 		// Next condition decided along the current schedule.
 		var next *sched.CondTiming

@@ -43,6 +43,10 @@ type SweepConfig struct {
 	Progress func(done, total int)
 	// Options are passed to the table generation.
 	Options core.Options
+	// Cache, when non-nil, memoizes generated instances by configuration
+	// content hash, so repeated sweeps with the same Seed (e.g. ablations
+	// over Options) reuse the generated graphs instead of rebuilding them.
+	Cache *gen.Cache
 }
 
 // Normalize fills defaults.
@@ -166,7 +170,7 @@ func RunSweep(cfg SweepConfig) ([]Cell, error) {
 		job := jobs[j]
 		key := stats.Key(job.nodes, job.paths)
 		r := rand.New(rand.NewSource(cellSeed(cfg.Seed, job.nodes, job.paths, job.index)))
-		inst, err := gen.Generate(gen.RandomConfig(r, job.nodes, job.paths))
+		inst, err := cfg.Cache.Generate(gen.RandomConfig(r, job.nodes, job.paths))
 		if err != nil {
 			results[j].err = fmt.Errorf("expr: generating graph %d of cell %s: %w", job.index, key, err)
 			failed.Store(true)

@@ -1,0 +1,67 @@
+package gen
+
+import "repro/internal/memo"
+
+// Cache memoizes generated instances by the content hash of their
+// (normalized) configuration, so experiments that share (nodes, paths, seed)
+// — ablation sweeps running the same graphs under different scheduling
+// options, repeated figure runs — reuse the generated graphs instead of
+// rebuilding them. Generated graphs are finalized and only read afterwards,
+// so one cached instance may be scheduled concurrently by many callers.
+//
+// A nil *Cache is valid and simply generates every time.
+type Cache struct {
+	lru *memo.LRU[*Instance]
+}
+
+// DefaultCacheSize is the instance capacity used when NewCache is given a
+// non-positive size.
+const DefaultCacheSize = 512
+
+// NewCache returns a cache holding at most capacity instances
+// (capacity <= 0 selects DefaultCacheSize).
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCacheSize
+	}
+	return &Cache{lru: memo.NewLRU[*Instance](capacity)}
+}
+
+// Generate returns the instance for cfg, reusing a previously generated one
+// with the same normalized configuration when available.
+func (c *Cache) Generate(cfg Config) (*Instance, error) {
+	if c == nil {
+		return Generate(cfg)
+	}
+	key, err := memo.HashJSON(cfg.Normalize())
+	if err != nil {
+		return nil, err
+	}
+	if inst, ok := c.lru.Get(key); ok {
+		return inst, nil
+	}
+	inst, err := Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	c.lru.Add(key, inst)
+	return inst, nil
+}
+
+// Hits and Misses report how often Generate was served from the cache; a
+// nil cache reports zero.
+func (c *Cache) Hits() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.lru.Hits()
+}
+
+// Misses reports the number of Generate calls that had to build an instance;
+// a nil cache reports zero.
+func (c *Cache) Misses() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.lru.Misses()
+}

@@ -1,0 +1,77 @@
+package memo
+
+import "testing"
+
+func TestLRUBasics(t *testing.T) {
+	l := NewLRU[int](2)
+	if _, ok := l.Get("a"); ok {
+		t.Fatalf("empty cache must miss")
+	}
+	l.Add("a", 1)
+	l.Add("b", 2)
+	if v, ok := l.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %d, %v", v, ok)
+	}
+	// "a" is now most recent; adding "c" must evict "b".
+	l.Add("c", 3)
+	if _, ok := l.Get("b"); ok {
+		t.Fatalf("b must have been evicted")
+	}
+	if v, ok := l.Get("a"); !ok || v != 1 {
+		t.Fatalf("a must survive eviction, got %d, %v", v, ok)
+	}
+	if v, ok := l.Get("c"); !ok || v != 3 {
+		t.Fatalf("c missing, got %d, %v", v, ok)
+	}
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", l.Len())
+	}
+	if l.Hits() != 3 || l.Misses() != 2 {
+		t.Fatalf("hits=%d misses=%d, want 3/2", l.Hits(), l.Misses())
+	}
+}
+
+func TestLRURefresh(t *testing.T) {
+	l := NewLRU[string](1)
+	l.Add("k", "old")
+	l.Add("k", "new")
+	if v, ok := l.Get("k"); !ok || v != "new" {
+		t.Fatalf("Get(k) = %q, %v", v, ok)
+	}
+	if l.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", l.Len())
+	}
+}
+
+func TestLRUDisabled(t *testing.T) {
+	l := NewLRU[int](0)
+	l.Add("k", 1)
+	if _, ok := l.Get("k"); ok {
+		t.Fatalf("disabled cache must never hit")
+	}
+	if l.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", l.Len())
+	}
+}
+
+func TestHashJSONDeterministicAndDistinct(t *testing.T) {
+	type doc struct {
+		A int
+		B string
+	}
+	h1, err := HashJSON(doc{1, "x"})
+	if err != nil {
+		t.Fatalf("HashJSON: %v", err)
+	}
+	h2, err := HashJSON(doc{1, "x"})
+	if err != nil {
+		t.Fatalf("HashJSON: %v", err)
+	}
+	if h1 != h2 {
+		t.Fatalf("equal values must hash equal: %s vs %s", h1, h2)
+	}
+	h3, _ := HashJSON(doc{2, "x"})
+	if h1 == h3 {
+		t.Fatalf("distinct values must hash distinct")
+	}
+}

@@ -1,0 +1,45 @@
+package textio
+
+import (
+	"bytes"
+	"os"
+	"reflect"
+	"testing"
+)
+
+// FuzzReadProblem throws arbitrary bytes at the strict v1 reader: parsing
+// must never panic, and any input that survives ReadProblem+DecodeProblem
+// must re-encode to a document that decodes to the same model (idempotent
+// round-trip). Run with `go test -fuzz FuzzReadProblem ./internal/textio`.
+func FuzzReadProblem(f *testing.F) {
+	if golden, err := os.ReadFile("../../testdata/figure1_v1.json"); err == nil {
+		f.Add(golden)
+	}
+	f.Add([]byte(`{"version":"v1","name":"t","processingElements":[{"name":"cpu","kind":"processor"},{"name":"bus","kind":"bus","connectsAll":true}],"processes":[{"name":"A","exec":2,"pe":"cpu"}],"edges":[]}`))
+	f.Add([]byte(`{"version":"v1"}`))
+	f.Add([]byte(`{"version":"v2"}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`[]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		doc, err := ReadProblem(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		g, a, opts, err := DecodeProblem(doc)
+		if err != nil {
+			return
+		}
+		doc2 := EncodeProblem(g, a, opts)
+		g2, a2, opts2, err := DecodeProblem(doc2)
+		if err != nil {
+			t.Fatalf("re-encoded document rejected: %v", err)
+		}
+		if opts2 != opts {
+			t.Fatalf("options drifted: %+v vs %+v", opts2, opts)
+		}
+		doc3 := EncodeProblem(g2, a2, opts2)
+		if !reflect.DeepEqual(doc2, doc3) {
+			t.Fatalf("encode/decode not idempotent")
+		}
+	})
+}

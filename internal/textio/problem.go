@@ -1,0 +1,493 @@
+package textio
+
+// This file defines the versioned v1 problem/solution document model: a
+// single JSON document bundling the conditional process graph, the target
+// architecture and the scheduling options (ProblemDoc), and the matching
+// result document (SolutionDoc). The documents are the wire format of the
+// cpgserve scheduling server and the on-disk format written by cpggen and
+// consumed by cpgsched/cpgsim; the unversioned Document remains readable as
+// a deprecated legacy input.
+//
+// Decoding is strict: unknown fields, unsupported versions, dangling
+// processor/bus/condition references, duplicate process names and cyclic
+// graphs are all rejected with errors, and a decoded problem re-encodes to
+// the same document (lossless round-trip).
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/cond"
+	"repro/internal/core"
+	"repro/internal/cpg"
+	"repro/internal/gen"
+	"repro/internal/listsched"
+	"repro/internal/memo"
+	"repro/internal/table"
+)
+
+// ProblemVersion is the document version understood by this package.
+const ProblemVersion = "v1"
+
+// OptionsDoc is the JSON representation of the scheduling options of a
+// problem document. The string fields use the vocabulary of the cpgsched
+// flags; empty fields select the defaults of core.Options.
+type OptionsDoc struct {
+	// Selection picks the path followed after a back-step: "largest"
+	// (default, the paper's rule), "smallest" or "first".
+	Selection string `json:"selection,omitempty"`
+	// Priority is the list-scheduling priority: "cp" (critical path,
+	// default) or "order".
+	Priority string `json:"priority,omitempty"`
+	// Conflicts selects the conflict resolution: "move" (Theorem 2,
+	// default) or "delay".
+	Conflicts string `json:"conflicts,omitempty"`
+	// MaxPaths bounds the number of alternative paths (0 = default bound).
+	MaxPaths int `json:"maxPaths,omitempty"`
+	// Workers bounds the per-request scheduling parallelism. It is advisory
+	// under a service: the service's global worker budget overrides it.
+	Workers int `json:"workers,omitempty"`
+}
+
+// EncodeOptions renders scheduling options in document form, always spelling
+// out the canonical names so a decoded problem re-encodes identically.
+func EncodeOptions(o core.Options) *OptionsDoc {
+	return &OptionsDoc{
+		Selection: o.PathSelection.String(),
+		Priority:  priorityName(o.PathPriority),
+		Conflicts: conflictName(o.ConflictPolicy),
+		MaxPaths:  o.MaxPaths,
+		Workers:   o.Workers,
+	}
+}
+
+func priorityName(p listsched.Priority) string {
+	if p == listsched.PriorityFixedOrder {
+		return "order"
+	}
+	return "cp"
+}
+
+func conflictName(c core.ConflictPolicy) string {
+	if c == core.ConflictDelayToLatest {
+		return "delay"
+	}
+	return "move"
+}
+
+// ParseSelection parses a path-selection name ("largest", "smallest",
+// "first"; "" selects the default).
+func ParseSelection(s string) (core.PathSelection, error) {
+	switch s {
+	case "", "largest", core.SelectLargestDelay.String():
+		return core.SelectLargestDelay, nil
+	case "smallest", core.SelectSmallestDelay.String():
+		return core.SelectSmallestDelay, nil
+	case "first":
+		return core.SelectFirst, nil
+	}
+	return 0, fmt.Errorf("textio: unknown path selection %q (want largest, smallest or first)", s)
+}
+
+// ParsePriority parses a list-scheduling priority name ("cp", "order"; ""
+// selects the default).
+func ParsePriority(s string) (listsched.Priority, error) {
+	switch s {
+	case "", "cp", listsched.PriorityCriticalPath.String():
+		return listsched.PriorityCriticalPath, nil
+	case "order", listsched.PriorityFixedOrder.String():
+		return listsched.PriorityFixedOrder, nil
+	}
+	return 0, fmt.Errorf("textio: unknown scheduling priority %q (want cp or order)", s)
+}
+
+// ParseConflicts parses a conflict-policy name ("move", "delay"; "" selects
+// the default).
+func ParseConflicts(s string) (core.ConflictPolicy, error) {
+	switch s {
+	case "", "move", core.ConflictMoveToExisting.String():
+		return core.ConflictMoveToExisting, nil
+	case "delay", core.ConflictDelayToLatest.String():
+		return core.ConflictDelayToLatest, nil
+	}
+	return 0, fmt.Errorf("textio: unknown conflict policy %q (want move or delay)", s)
+}
+
+// DecodeOptions converts an options document (nil selects every default)
+// into core.Options, validating the enumeration names and rejecting negative
+// MaxPaths and Workers.
+func DecodeOptions(d *OptionsDoc) (core.Options, error) {
+	var o core.Options
+	if d == nil {
+		return o, nil
+	}
+	var err error
+	if o.PathSelection, err = ParseSelection(d.Selection); err != nil {
+		return o, err
+	}
+	if o.PathPriority, err = ParsePriority(d.Priority); err != nil {
+		return o, err
+	}
+	if o.ConflictPolicy, err = ParseConflicts(d.Conflicts); err != nil {
+		return o, err
+	}
+	if d.MaxPaths < 0 {
+		return o, fmt.Errorf("textio: options.maxPaths must be >= 0; got %d", d.MaxPaths)
+	}
+	if d.Workers < 0 {
+		return o, fmt.Errorf("textio: options.workers must be >= 0 (0 = all CPUs); got %d", d.Workers)
+	}
+	o.MaxPaths = d.MaxPaths
+	o.Workers = d.Workers
+	return o, nil
+}
+
+// ProblemDoc is the versioned single-document problem format: one JSON
+// object bundling the mapped conditional process graph, the target
+// architecture and the scheduling options.
+type ProblemDoc struct {
+	Version    string      `json:"version"`
+	Name       string      `json:"name"`
+	CondTime   int64       `json:"condTime,omitempty"`
+	Elements   []PEDoc     `json:"processingElements"`
+	Conditions []CondDoc   `json:"conditions,omitempty"`
+	Processes  []ProcDoc   `json:"processes"`
+	Edges      []EdgeDoc   `json:"edges"`
+	Options    *OptionsDoc `json:"options,omitempty"`
+}
+
+// EncodeProblem bundles a graph, its architecture and scheduling options
+// into a v1 problem document.
+func EncodeProblem(g *cpg.Graph, a *arch.Architecture, opts core.Options) *ProblemDoc {
+	doc := Encode(g, a)
+	return &ProblemDoc{
+		Version:    ProblemVersion,
+		Name:       doc.Name,
+		CondTime:   doc.CondTime,
+		Elements:   doc.Elements,
+		Conditions: doc.Conditions,
+		Processes:  doc.Processes,
+		Edges:      doc.Edges,
+		Options:    EncodeOptions(opts),
+	}
+}
+
+// document strips the version envelope, yielding the legacy graph+arch part.
+func (d *ProblemDoc) document() *Document {
+	return &Document{
+		Name:       d.Name,
+		CondTime:   d.CondTime,
+		Elements:   d.Elements,
+		Conditions: d.Conditions,
+		Processes:  d.Processes,
+		Edges:      d.Edges,
+	}
+}
+
+// DecodeProblem validates a problem document and rebuilds the in-memory
+// model: the finalized graph, the architecture and the scheduling options.
+// Unsupported versions, dangling processing-element or condition references,
+// duplicate process names and cyclic graphs are rejected.
+func DecodeProblem(d *ProblemDoc) (*cpg.Graph, *arch.Architecture, core.Options, error) {
+	var zero core.Options
+	if d.Version != ProblemVersion {
+		return nil, nil, zero, fmt.Errorf("textio: unsupported problem version %q (this build understands %q)", d.Version, ProblemVersion)
+	}
+	opts, err := DecodeOptions(d.Options)
+	if err != nil {
+		return nil, nil, zero, err
+	}
+	g, a, err := Decode(d.document())
+	if err != nil {
+		return nil, nil, zero, err
+	}
+	return g, a, opts, nil
+}
+
+// WriteProblem writes a problem document as indented JSON.
+func WriteProblem(w io.Writer, d *ProblemDoc) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// ReadProblem parses a v1 problem document, rejecting unknown fields,
+// unsupported versions and trailing data after the document. It only
+// syntax-checks; pass the result to DecodeProblem for the semantic
+// validation and model rebuild.
+func ReadProblem(r io.Reader) (*ProblemDoc, error) {
+	var d ProblemDoc
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&d); err != nil {
+		return nil, fmt.Errorf("textio: %w", err)
+	}
+	if err := requireEOF(dec); err != nil {
+		return nil, err
+	}
+	if d.Version != ProblemVersion {
+		return nil, fmt.Errorf("textio: unsupported problem version %q (this build understands %q)", d.Version, ProblemVersion)
+	}
+	return &d, nil
+}
+
+// requireEOF rejects trailing data after a decoded document — otherwise two
+// concatenated documents would be silently truncated to the first.
+func requireEOF(dec *json.Decoder) error {
+	if _, err := dec.Token(); err != io.EOF {
+		return fmt.Errorf("textio: trailing data after document")
+	}
+	return nil
+}
+
+// ReadProblemOrLegacy parses either a v1 problem document or — as a
+// deprecated fallback for the pre-versioned CLI format — a bare Document
+// without a "version" field, which is upgraded to v1 with default options.
+// The second result reports whether the legacy path was taken, so callers
+// can print a deprecation notice.
+func ReadProblemOrLegacy(r io.Reader) (*ProblemDoc, bool, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, false, fmt.Errorf("textio: %w", err)
+	}
+	var probe struct {
+		Version string `json:"version"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return nil, false, fmt.Errorf("textio: %w", err)
+	}
+	if probe.Version != "" {
+		d, err := ReadProblem(bytes.NewReader(data))
+		return d, false, err
+	}
+	var legacy Document
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&legacy); err != nil {
+		return nil, false, fmt.Errorf("textio: %w", err)
+	}
+	if err := requireEOF(dec); err != nil {
+		return nil, false, err
+	}
+	return &ProblemDoc{
+		Version:    ProblemVersion,
+		Name:       legacy.Name,
+		CondTime:   legacy.CondTime,
+		Elements:   legacy.Elements,
+		Conditions: legacy.Conditions,
+		Processes:  legacy.Processes,
+		Edges:      legacy.Edges,
+	}, true, nil
+}
+
+// ProblemHash returns the content hash identifying a problem for caching:
+// the sha256 of the canonical JSON encoding with options.workers cleared,
+// because the worker count never changes the produced schedule table. Two
+// problems with the same hash produce byte-identical solutions.
+func ProblemHash(d *ProblemDoc) (string, error) {
+	c := *d
+	if c.Options != nil {
+		o := *c.Options
+		o.Workers = 0
+		c.Options = &o
+	}
+	return memo.HashJSON(&c)
+}
+
+// SolutionPathDoc is the per-alternative-path part of a solution document.
+type SolutionPathDoc struct {
+	Label        string `json:"label"`
+	OptimalDelay int64  `json:"optimalDelay"`
+	TableDelay   int64  `json:"tableDelay"`
+}
+
+// SolutionStatsDoc summarises the deterministic merge statistics plus the
+// run-dependent wall-clock timings (nanoseconds).
+type SolutionStatsDoc struct {
+	Paths             int   `json:"paths"`
+	BackSteps         int   `json:"backSteps"`
+	Conflicts         int   `json:"conflicts"`
+	ConflictsResolved int   `json:"conflictsResolved"`
+	Locks             int   `json:"locks"`
+	Columns           int   `json:"columns"`
+	Entries           int   `json:"entries"`
+	PathSchedulingNs  int64 `json:"pathSchedulingNs"`
+	MergeNs           int64 `json:"mergeNs"`
+	ValidationNs      int64 `json:"validationNs"`
+}
+
+// CacheDoc reports how the serving cache treated a request.
+type CacheDoc struct {
+	// Hit is true when this solution was served from the memo cache.
+	Hit bool `json:"hit"`
+	// Hits and Misses are the service-wide cache counters after the
+	// request.
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	// ProblemHash is the content hash keying the cache entry.
+	ProblemHash string `json:"problemHash"`
+}
+
+// SolutionDoc is the versioned result document of one scheduling run.
+type SolutionDoc struct {
+	Version         string            `json:"version"`
+	Name            string            `json:"name"`
+	DeltaM          int64             `json:"deltaM"`
+	DeltaMax        int64             `json:"deltaMax"`
+	IncreasePercent float64           `json:"increasePercent"`
+	Deterministic   bool              `json:"deterministic"`
+	Violations      []string          `json:"violations,omitempty"`
+	Paths           []SolutionPathDoc `json:"paths"`
+	Table           *TableDoc         `json:"table"`
+	// TableText is the text rendering of the schedule table, byte-identical
+	// to Table.Render on the in-process result (the format of Table 1 of
+	// the paper).
+	TableText string           `json:"tableText"`
+	Stats     SolutionStatsDoc `json:"stats"`
+	Cache     *CacheDoc        `json:"cache,omitempty"`
+}
+
+// EncodeSolution converts a scheduling result into its v1 document form.
+func EncodeSolution(res *core.Result) *SolutionDoc {
+	g := res.Graph
+	d := &SolutionDoc{
+		Version:         ProblemVersion,
+		Name:            g.Name(),
+		DeltaM:          res.DeltaM,
+		DeltaMax:        res.DeltaMax,
+		IncreasePercent: res.IncreasePercent(),
+		Deterministic:   res.Deterministic(),
+		Table:           EncodeTable(g, res.Table),
+		TableText:       res.Table.Render(table.RenderOptions{Namer: g.CondName, RowName: res.RowName}),
+	}
+	for _, v := range res.TableViolations {
+		d.Violations = append(d.Violations, v.String())
+	}
+	for _, v := range res.SimViolations {
+		d.Violations = append(d.Violations, v.String())
+	}
+	for _, p := range res.Paths {
+		d.Paths = append(d.Paths, SolutionPathDoc{
+			Label:        p.Label.Format(g.CondName),
+			OptimalDelay: p.OptimalDelay,
+			TableDelay:   p.TableDelay,
+		})
+	}
+	s := res.Stats
+	d.Stats = SolutionStatsDoc{
+		Paths:             s.Paths,
+		BackSteps:         s.BackSteps,
+		Conflicts:         s.Conflicts,
+		ConflictsResolved: s.ConflictsResolved,
+		Locks:             s.Locks,
+		Columns:           s.Columns,
+		Entries:           s.Entries,
+		PathSchedulingNs:  int64(s.PathSchedulingTime),
+		MergeNs:           int64(s.MergeTime),
+		ValidationNs:      int64(s.ValidationTime),
+	}
+	return d
+}
+
+// WriteSolution writes a solution document as indented JSON.
+func WriteSolution(w io.Writer, d *SolutionDoc) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// GenDoc is the JSON request of the problem generator endpoint: the
+// structural parameters of the paper's synthetic experiments.
+type GenDoc struct {
+	Seed       int64  `json:"seed"`
+	Nodes      int    `json:"nodes"`
+	Paths      int    `json:"paths"`
+	Processors int    `json:"processors"`
+	Hardware   int    `json:"hardware"`
+	Buses      int    `json:"buses"`
+	CondTime   int64  `json:"condTime,omitempty"`
+	Dist       string `json:"dist,omitempty"`
+}
+
+// ReadGenDoc parses a generator request, rejecting unknown fields and
+// trailing data.
+func ReadGenDoc(r io.Reader) (*GenDoc, error) {
+	var d GenDoc
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&d); err != nil {
+		return nil, fmt.Errorf("textio: %w", err)
+	}
+	if err := requireEOF(dec); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}
+
+// DecodeGenConfig converts a generator request into a gen.Config, validating
+// the distribution name; bounds are validated by gen.Generate itself.
+func DecodeGenConfig(d *GenDoc) (gen.Config, error) {
+	cfg := gen.Config{
+		Seed:        d.Seed,
+		Nodes:       d.Nodes,
+		TargetPaths: d.Paths,
+		Processors:  d.Processors,
+		Hardware:    d.Hardware,
+		Buses:       d.Buses,
+		CondTime:    d.CondTime,
+	}
+	switch d.Dist {
+	case "", "uniform":
+		cfg.ExecDist = gen.DistUniform
+	case "exponential":
+		cfg.ExecDist = gen.DistExponential
+	default:
+		return cfg, fmt.Errorf("textio: unknown execution-time distribution %q (want uniform or exponential)", d.Dist)
+	}
+	return cfg, nil
+}
+
+// ParseConds parses a comma-separated condition assignment such as
+// "C=1,K=0" into a cube using the graph's condition names.
+func ParseConds(g *cpg.Graph, spec string) (cond.Cube, error) {
+	label := cond.True()
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			return cond.Cube{}, fmt.Errorf("textio: malformed condition assignment %q", part)
+		}
+		name := strings.TrimSpace(kv[0])
+		var id cond.Cond = cond.None
+		for _, cd := range g.Conditions() {
+			if cd.Name == name {
+				id = cd.ID
+			}
+		}
+		if id == cond.None {
+			return cond.Cube{}, fmt.Errorf("textio: unknown condition %q", name)
+		}
+		var v bool
+		switch strings.TrimSpace(kv[1]) {
+		case "1", "true", "T":
+			v = true
+		case "0", "false", "F":
+			v = false
+		default:
+			return cond.Cube{}, fmt.Errorf("textio: malformed condition value %q", kv[1])
+		}
+		var ok bool
+		label, ok = label.With(id, v)
+		if !ok {
+			return cond.Cube{}, fmt.Errorf("textio: contradictory assignment for condition %q", name)
+		}
+	}
+	return label, nil
+}

@@ -1,0 +1,60 @@
+package repro
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestPublicServiceAPI exercises the public surface of the versioned
+// document model and the scheduling service end to end: encode the worked
+// example as a v1 document, schedule it through a service, compare against
+// the direct Schedule call, and confirm the memo hit on the second request.
+func TestPublicServiceAPI(t *testing.T) {
+	g, a, err := Figure1()
+	if err != nil {
+		t.Fatalf("Figure1: %v", err)
+	}
+	doc := EncodeProblem(g, a, Options{})
+	if doc.Version != ProblemVersion {
+		t.Fatalf("document version %q", doc.Version)
+	}
+	hash, err := ProblemHash(doc)
+	if err != nil || hash == "" {
+		t.Fatalf("ProblemHash: %q, %v", hash, err)
+	}
+	prob, err := ProblemFromDoc(doc)
+	if err != nil {
+		t.Fatalf("ProblemFromDoc: %v", err)
+	}
+
+	svc, err := NewService(ServiceConfig{Workers: 2})
+	if err != nil {
+		t.Fatalf("NewService: %v", err)
+	}
+	sol, err := svc.Schedule(context.Background(), prob)
+	if err != nil {
+		t.Fatalf("Service.Schedule: %v", err)
+	}
+	want, err := Schedule(g, a, Options{})
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	if EncodeSolution(sol.Result).TableText != EncodeSolution(want).TableText {
+		t.Fatalf("service and direct schedules differ")
+	}
+	if sol.ProblemHash != hash {
+		t.Fatalf("solution hash %q != document hash %q", sol.ProblemHash, hash)
+	}
+	again, err := svc.Schedule(context.Background(), prob)
+	if err != nil {
+		t.Fatalf("Service.Schedule: %v", err)
+	}
+	if !again.CacheHit {
+		t.Fatalf("second request must be served from the memo")
+	}
+
+	if _, err := ScheduleContext(context.Background(), g, a, Options{Workers: -1}); !errors.Is(err, ErrNegativeWorkers) {
+		t.Fatalf("negative workers must be rejected; got %v", err)
+	}
+}

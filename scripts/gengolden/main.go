@@ -1,0 +1,29 @@
+// Command gengolden regenerates testdata/figure1_v1.json, the v1 problem
+// document of the paper's worked example used by the codec golden tests and
+// the cpgserve smoke test. Run from the repository root:
+//
+//	go run ./scripts/gengolden
+package main
+
+import (
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/textio"
+)
+
+func main() {
+	g, a, err := expr.Figure1()
+	if err != nil {
+		panic(err)
+	}
+	f, err := os.Create("testdata/figure1_v1.json")
+	if err != nil {
+		panic(err)
+	}
+	defer f.Close()
+	if err := textio.WriteProblem(f, textio.EncodeProblem(g, a, core.Options{})); err != nil {
+		panic(err)
+	}
+}

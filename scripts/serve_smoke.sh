@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Smoke-test the cpgserve HTTP server end to end: build and start it, wait
+# for /healthz, POST the Figure 1 problem document twice, and verify that
+# (1) the served schedule table is byte-identical to the golden table of
+# testdata/figure1_golden.txt and (2) the second identical request is
+# answered from the memo cache (observable in the response's cache counters).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR="127.0.0.1:${CPGSERVE_PORT:-8377}"
+BIN="$(mktemp -d)/cpgserve"
+go build -o "$BIN" ./cmd/cpgserve
+"$BIN" -addr "$ADDR" &
+PID=$!
+trap 'kill "$PID" 2>/dev/null || true' EXIT
+
+for _ in $(seq 1 50); do
+  if curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; then
+    break
+  fi
+  sleep 0.1
+done
+curl -fsS "http://$ADDR/healthz" | grep -q '"status": "ok"'
+
+OUT="$(mktemp -d)"
+curl -fsS -X POST --data-binary @testdata/figure1_v1.json \
+  "http://$ADDR/v1/schedule" > "$OUT/sol1.json"
+curl -fsS -X POST --data-binary @testdata/figure1_v1.json \
+  "http://$ADDR/v1/schedule" > "$OUT/sol2.json"
+
+OUT="$OUT" python3 - <<'PY'
+import json, os, sys
+
+out = os.environ["OUT"]
+sol1 = json.load(open(out + "/sol1.json"))
+sol2 = json.load(open(out + "/sol2.json"))
+
+# The golden fingerprint is the rendered table followed by the delay
+# summary; everything before the "deltaM=" line is the table itself.
+golden = open("testdata/figure1_golden.txt").read()
+table = golden.split("deltaM=")[0]
+
+if sol1["tableText"] != table:
+    sys.exit("served table differs from testdata/figure1_golden.txt")
+if sol1["cache"]["hit"]:
+    sys.exit("first request must miss the cache")
+if not sol2["cache"]["hit"]:
+    sys.exit("second identical request must hit the cache")
+if sol2["tableText"] != sol1["tableText"]:
+    sys.exit("cached solution differs from the computed one")
+print("serve smoke OK: table matches golden, second request served from cache")
+PY
