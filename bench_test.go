@@ -19,6 +19,9 @@
 //	BenchmarkAblation*           — design-choice ablations (path selection
 //	                               rule, list-scheduling priority, conflict
 //	                               resolution policy).
+//	BenchmarkStrategies          — quality (δM, δmax) and speed per
+//	                               registered scheduling strategy.
+//	BenchmarkTabuInner           — one tabu improvement run per path.
 package repro
 
 import (
@@ -424,6 +427,61 @@ func BenchmarkAblationPathPriority(b *testing.B) {
 			b.ReportMetric(float64(res.DeltaM), "deltaM")
 			b.ReportMetric(float64(res.DeltaMax), "deltaMax")
 		})
+	}
+}
+
+// BenchmarkStrategies compares every registered per-path scheduling strategy
+// on the shared ablation instance: ns/op is the cost axis of the tradeoff,
+// and the reported deltaM/deltaMax/increase-% metrics are the quality axis
+// (worst-case δ), so BENCH_results.json records one quality-and-speed
+// trajectory per strategy across PRs.
+func BenchmarkStrategies(b *testing.B) {
+	inst := ablationInstance(b)
+	for _, name := range listsched.StrategyNames() {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			var res *core.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = core.Schedule(inst.Graph, inst.Arch, core.Options{Strategy: name, Workers: 1})
+				if err != nil {
+					b.Fatalf("Schedule: %v", err)
+				}
+			}
+			b.ReportMetric(float64(res.DeltaM), "deltaM")
+			b.ReportMetric(float64(res.DeltaMax), "deltaMax")
+			b.ReportMetric(res.IncreasePercent(), "increase-%")
+		})
+	}
+}
+
+// BenchmarkTabuInner measures one tabu improvement run on a prebuilt
+// 120-node subgraph with a reused scratch — the per-path unit of work the
+// tabu strategy adds on top of BenchmarkListschedInner.
+func BenchmarkTabuInner(b *testing.B) {
+	inst, err := gen.Generate(gen.Config{Seed: 3, Nodes: 120, TargetPaths: 18, Processors: 6, Hardware: 1, Buses: 3})
+	if err != nil {
+		b.Fatalf("Generate: %v", err)
+	}
+	paths, err := inst.Graph.AlternativePaths(0)
+	if err != nil {
+		b.Fatalf("AlternativePaths: %v", err)
+	}
+	subs := make([]*cpg.Subgraph, len(paths))
+	for i, p := range paths {
+		subs[i] = inst.Graph.Subgraph(p)
+	}
+	tabu, ok := listsched.LookupStrategy("tabu")
+	if !ok {
+		b.Fatalf("tabu strategy not registered")
+	}
+	sc := listsched.NewScratch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := tabu.SchedulePath(sc, subs[i%len(subs)], inst.Arch, listsched.StrategyParams{}); err != nil {
+			b.Fatalf("SchedulePath: %v", err)
+		}
 	}
 }
 

@@ -6,7 +6,8 @@
 //	cpgexper -exp fig5     # increase of δmax over δM on generated graphs
 //	cpgexper -exp fig6     # execution time of the schedule merging
 //	cpgexper -exp table2   # ATM OAM worst-case delays
-//	cpgexper -exp ablate   # sweep under every path-selection policy
+//	cpgexper -exp ablate   # sweep under every path-selection policy and
+//	                       # every registered scheduling strategy
 //	cpgexper -exp all      # everything above except ablate
 //
 // The Fig. 5 / Fig. 6 sweep uses a reduced number of graphs per cell by
@@ -33,7 +34,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/expr"
 	"repro/internal/gen"
+	"repro/internal/listsched"
 	"repro/internal/stats"
+	"repro/internal/textio"
 )
 
 func main() {
@@ -51,9 +54,18 @@ func run(args []string, out io.Writer) error {
 	graphs := fs.Int("graphs", 4, "graphs per (size, paths) cell of the Fig. 5/6 sweep")
 	seed := fs.Int64("seed", 1998, "random seed of the sweep")
 	workers := fs.Int("workers", 0, "worker goroutines for the sweep (0 = all CPUs, 1 = sequential)")
+	strategy := fs.String("strategy", "", "per-path scheduling strategy for the experiments: critical-path, urgency or tabu (-exp ablate sweeps all of them)")
 	progress := fs.Bool("progress", true, "report sweep progress on stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var baseOpts core.Options
+	if *strategy != "" {
+		name, err := textio.ParseStrategy(*strategy)
+		if err != nil {
+			return err
+		}
+		baseOpts.Strategy = name
 	}
 
 	want := func(name string) bool { return *exp == "all" || *exp == name }
@@ -69,7 +81,7 @@ func run(args []string, out io.Writer) error {
 		if fig1Result != nil {
 			return fig1Result, nil
 		}
-		r, err := expr.RunFigure1(core.Options{})
+		r, err := expr.RunFigure1(baseOpts)
 		if err != nil {
 			return nil, err
 		}
@@ -115,7 +127,7 @@ func run(args []string, out io.Writer) error {
 	}
 	if want("fig5") || want("fig6") {
 		ran = true
-		cfg := sweepConfig(core.Options{})
+		cfg := sweepConfig(baseOpts)
 		start := time.Now()
 		cells, err := expr.RunSweep(cfg)
 		if err != nil {
@@ -142,7 +154,7 @@ func run(args []string, out io.Writer) error {
 	}
 	if want("table2") {
 		ran = true
-		res, err := expr.RunTable2(core.Options{})
+		res, err := expr.RunTable2(baseOpts)
 		if err != nil {
 			return err
 		}
@@ -154,24 +166,21 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
-// runAblation reruns the Fig. 5 sweep under every path-selection policy. All
-// three sweeps share one instance cache sized to hold the whole sweep (an
-// undersized LRU would evict every entry before the next policy's re-scan
-// gets back to it), so the graphs are generated once and only the scheduling
-// differs — the cache hit counts printed on stderr make the reuse
-// observable.
+// runAblation reruns the Fig. 5 sweep under every path-selection policy and
+// then under every registered scheduling strategy. All the sweeps share one
+// instance cache sized to hold the whole sweep (an undersized LRU would
+// evict every entry before the next re-scan gets back to it), so the graphs
+// are generated once and only the scheduling differs — the cache hit counts
+// printed on stderr make the reuse observable.
 func runAblation(out io.Writer, sweepConfig func(core.Options) expr.SweepConfig) error {
 	norm := sweepConfig(core.Options{}).Normalize()
 	cache := gen.NewCache(len(norm.Nodes) * len(norm.Paths) * norm.GraphsPerCell)
-	policies := []core.PathSelection{core.SelectLargestDelay, core.SelectSmallestDelay, core.SelectFirst}
-	fmt.Fprintln(out, "Ablation: average increase of δmax over δM (%) by path-selection policy")
-	for _, policy := range policies {
-		cfg := sweepConfig(core.Options{PathSelection: policy})
+	runCells := func(opts core.Options) ([]expr.Cell, error) {
+		cfg := sweepConfig(opts)
 		cfg.Cache = cache
-		cells, err := expr.RunSweep(cfg)
-		if err != nil {
-			return err
-		}
+		return expr.RunSweep(cfg)
+	}
+	printLine := func(label string, cells []expr.Cell) {
 		// Every cell holds the same number of graphs, so the mean of the
 		// per-cell averages is the per-graph average.
 		avgs := make([]float64, 0, len(cells))
@@ -181,7 +190,34 @@ func runAblation(out io.Writer, sweepConfig func(core.Options) expr.SweepConfig)
 			violations += c.Violations
 		}
 		fmt.Fprintf(out, "  %-16s avg %6.2f%%   max cell avg %6.2f%%   violations %d\n",
-			policy.String(), stats.Mean(avgs), stats.Max(avgs), violations)
+			label, stats.Mean(avgs), stats.Max(avgs), violations)
+	}
+	// The default-policy sweep and the default-strategy sweep are the same
+	// run (largest-delay selection, critical-path scheduler — pinned by
+	// TestStrategyDefaultEquivalence), so its cells are computed once and
+	// printed under both headers.
+	var defaultCells []expr.Cell
+	fmt.Fprintln(out, "Ablation: average increase of δmax over δM (%) by path-selection policy")
+	for _, policy := range []core.PathSelection{core.SelectLargestDelay, core.SelectSmallestDelay, core.SelectFirst} {
+		cells, err := runCells(core.Options{PathSelection: policy})
+		if err != nil {
+			return err
+		}
+		if policy == core.SelectLargestDelay {
+			defaultCells = cells
+		}
+		printLine(policy.String(), cells)
+	}
+	fmt.Fprintln(out, "Ablation: average increase of δmax over δM (%) by scheduling strategy")
+	for _, name := range listsched.StrategyNames() {
+		cells := defaultCells
+		if name != listsched.DefaultStrategy {
+			var err error
+			if cells, err = runCells(core.Options{Strategy: name}); err != nil {
+				return err
+			}
+		}
+		printLine(name, cells)
 	}
 	fmt.Fprintf(os.Stderr, "instance cache: %d generated, %d reused across ablations\n",
 		cache.Misses(), cache.Hits())

@@ -7,6 +7,7 @@
 //
 //	cpgsched -in problem.json [-selection largest|smallest|first]
 //	         [-priority cp|order] [-conflicts move|delay] [-workers N]
+//	         [-strategy critical-path|urgency|tabu] [-tabu-iters N]
 //	         [-gantt] [-dot out.dot] [-solution out.json] [-quiet]
 //
 // Scheduling options embedded in the document (its "options" member) are the
@@ -44,8 +45,10 @@ func run(args []string, out io.Writer) error {
 	fs.SetOutput(out)
 	in := fs.String("in", "", "problem JSON file (default: stdin)")
 	selection := fs.String("selection", "", "path selection after back-steps: largest, smallest or first (default: document options)")
-	priority := fs.String("priority", "", "list scheduling priority for individual paths: cp (critical path) or order (default: document options)")
+	priority := fs.String("priority", "", "list scheduling priority for individual paths: cp (critical path), order or urgency (default: document options)")
 	conflicts := fs.String("conflicts", "", "conflict resolution: move (Theorem 2) or delay (default: document options)")
+	strategy := fs.String("strategy", "", "per-path scheduling strategy: critical-path, urgency or tabu (default: document options)")
+	tabuIters := fs.Int("tabu-iters", 0, "tabu strategy: improvement iterations per path (0 = default)")
 	gantt := fs.Bool("gantt", false, "print the optimal schedule of every path as a time chart")
 	dispatch := fs.Bool("dispatch", false, "print the per-processing-element dispatch tables")
 	dot := fs.String("dot", "", "write a Graphviz DOT rendering of the graph to this file")
@@ -96,6 +99,14 @@ func run(args []string, out io.Writer) error {
 		if opts.ConflictPolicy, err = textio.ParseConflicts(*conflicts); err != nil {
 			return err
 		}
+	}
+	if *strategy != "" {
+		if opts.Strategy, err = textio.ParseStrategy(*strategy); err != nil {
+			return err
+		}
+	}
+	if set["tabu-iters"] {
+		opts.StrategyParams.TabuIterations = *tabuIters
 	}
 	if set["workers"] {
 		opts.Workers = *workers

@@ -98,6 +98,32 @@ func TestScheduleCommandErrors(t *testing.T) {
 	if err := run([]string{"-in", path, "-conflicts", "weird"}, &out); err == nil {
 		t.Fatalf("unknown conflict policy must fail")
 	}
+	if err := run([]string{"-in", path, "-strategy", "weird"}, &out); err == nil || !strings.Contains(err.Error(), "unknown scheduling strategy") {
+		t.Fatalf("unknown strategy must fail with the registered list; got %v", err)
+	}
+}
+
+// TestScheduleCommandStrategyFlag pins the -strategy end of the strategy
+// subsystem: every registered strategy schedules the problem to a
+// deterministic table, and the tabu bounds are adjustable via -tabu-iters.
+func TestScheduleCommandStrategyFlag(t *testing.T) {
+	path := writeProblem(t)
+	for _, strategy := range []string{"critical-path", "urgency", "tabu"} {
+		var out bytes.Buffer
+		if err := run([]string{"-in", path, "-strategy", strategy, "-quiet"}, &out); err != nil {
+			t.Fatalf("run(-strategy %s): %v", strategy, err)
+		}
+		if !strings.Contains(out.String(), "deterministic = true") {
+			t.Fatalf("-strategy %s output unexpected:\n%s", strategy, out.String())
+		}
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-in", path, "-strategy", "tabu", "-tabu-iters", "2", "-quiet"}, &out); err != nil {
+		t.Fatalf("run(-tabu-iters): %v", err)
+	}
+	if !strings.Contains(out.String(), "deterministic = true") {
+		t.Fatalf("-tabu-iters output unexpected:\n%s", out.String())
+	}
 }
 
 // writeProblemV1 writes a v1 problem document with embedded options.

@@ -9,7 +9,10 @@
 // Endpoints:
 //
 //	POST /v1/schedule?workers=N   schedule a problem document, return the
-//	                              solution document (cache-aware)
+//	                              solution document (cache-aware); an optional
+//	                              &strategy= overrides the document's per-path
+//	                              scheduling strategy (critical-path, urgency,
+//	                              tabu, ...); unknown names get a 400 envelope
 //	POST /v1/simulate?cond=C=1    schedule, then re-enact the matching
 //	                              alternative paths against the table
 //	POST /v1/generate             generate a random problem document from
@@ -173,6 +176,13 @@ func (s *server) readProblem(w http.ResponseWriter, r *http.Request) (*service.P
 			return nil, fmt.Errorf("malformed workers parameter %q (want a non-negative integer)", q)
 		}
 		prob.Options.Workers = n
+	}
+	if q := r.URL.Query().Get("strategy"); q != "" {
+		name, err := textio.ParseStrategy(q)
+		if err != nil {
+			return nil, err
+		}
+		prob.Options.Strategy = name
 	}
 	return prob, nil
 }

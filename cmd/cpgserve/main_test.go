@@ -247,6 +247,70 @@ func TestHealthz(t *testing.T) {
 	}
 }
 
+// TestScheduleEndpointStrategyParam pins the per-request strategy override:
+// an unknown ?strategy= is rejected with a 400 JSON error envelope before
+// any scheduling work, and two requests for the same problem under two
+// different strategies are two independent memo entries (two misses, two
+// hashes — cached solutions never cross strategies).
+func TestScheduleEndpointStrategyParam(t *testing.T) {
+	ts := testServer(t)
+	doc := figure1Doc(t)
+
+	resp, body := postJSON(t, ts.URL+"/v1/schedule?strategy=simulated-annealing", doc)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown strategy must yield 400, got %d: %s", resp.StatusCode, body)
+	}
+	var envelope errorDoc
+	if err := json.Unmarshal(body, &envelope); err != nil {
+		t.Fatalf("unknown strategy error is not a JSON envelope: %v: %s", err, body)
+	}
+	if envelope.Error.Status != http.StatusBadRequest || !strings.Contains(envelope.Error.Message, "unknown scheduling strategy") {
+		t.Fatalf("unexpected error envelope: %+v", envelope)
+	}
+
+	resp, body = postJSON(t, ts.URL+"/v1/schedule?strategy=urgency", doc)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("strategy=urgency: status %d: %s", resp.StatusCode, body)
+	}
+	var urgency textio.SolutionDoc
+	if err := json.Unmarshal(body, &urgency); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if urgency.Cache == nil || urgency.Cache.Hit {
+		t.Fatalf("first urgency request must miss the cache: %+v", urgency.Cache)
+	}
+
+	resp, body = postJSON(t, ts.URL+"/v1/schedule?strategy=tabu", doc)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("strategy=tabu: status %d: %s", resp.StatusCode, body)
+	}
+	var tabu textio.SolutionDoc
+	if err := json.Unmarshal(body, &tabu); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if tabu.Cache == nil || tabu.Cache.Hit {
+		t.Fatalf("same problem under another strategy must be a fresh memo miss: %+v", tabu.Cache)
+	}
+	if tabu.Cache.Misses != 2 {
+		t.Fatalf("two strategies must be two memo misses, got %d", tabu.Cache.Misses)
+	}
+	if tabu.Cache.ProblemHash == urgency.Cache.ProblemHash {
+		t.Fatalf("strategy must be part of the problem hash")
+	}
+	// Each strategy hits its own entry on repeat.
+	resp, body = postJSON(t, ts.URL+"/v1/schedule?strategy=urgency", doc)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("repeat urgency: status %d: %s", resp.StatusCode, body)
+	}
+	var again textio.SolutionDoc
+	if err := json.Unmarshal(body, &again); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if again.Cache == nil || !again.Cache.Hit {
+		t.Fatalf("repeated urgency request must hit its memo entry: %+v", again.Cache)
+	}
+}
+
 func TestOversizedBodyGets413(t *testing.T) {
 	srv, err := newServer(service.Config{Workers: 1}, 64)
 	if err != nil {

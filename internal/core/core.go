@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -97,8 +98,20 @@ func (c ConflictPolicy) String() string {
 // Options configures the table generation.
 type Options struct {
 	// PathPriority is the list-scheduling priority used for the optimal
-	// schedule of each alternative path (critical path by default).
+	// schedule of each alternative path (critical path by default). It is
+	// ignored when Strategy is set.
 	PathPriority listsched.Priority
+	// Strategy names the per-path scheduling strategy from the listsched
+	// strategy registry ("critical-path", "urgency", "tabu", ...). Empty
+	// selects the classic PathPriority-driven list scheduler. Unknown names
+	// are rejected by Schedule with ErrUnknownStrategy. Strategies only
+	// shape the optimal per-path schedules; the merge itself (and its
+	// fixed-order rescheduling) is strategy-independent, so every strategy
+	// yields a table satisfying requirements 1-4.
+	Strategy string
+	// StrategyParams tunes the selected strategy (tabu iteration and
+	// neighborhood bounds, optional wall-clock budget).
+	StrategyParams listsched.StrategyParams
 	// PathSelection is the rule used to pick the current schedule after a
 	// back-step (largest delay by default, as in the paper).
 	PathSelection PathSelection
@@ -123,6 +136,24 @@ type Options struct {
 
 // ErrNegativeWorkers is returned by Schedule when Options.Workers < 0.
 var ErrNegativeWorkers = errors.New("core: Options.Workers must be >= 0 (0 = GOMAXPROCS)")
+
+// ErrUnknownStrategy is returned by Schedule when Options.Strategy names no
+// registered scheduling strategy.
+var ErrUnknownStrategy = errors.New("core: unknown scheduling strategy")
+
+// resolveStrategy maps Options.Strategy to a registered strategy; empty
+// selects the legacy PathPriority-driven scheduler (nil strategy).
+func resolveStrategy(opt Options) (listsched.Strategy, error) {
+	if opt.Strategy == "" {
+		return nil, nil
+	}
+	s, ok := listsched.LookupStrategy(opt.Strategy)
+	if !ok {
+		return nil, fmt.Errorf("%w %q (registered: %s)",
+			ErrUnknownStrategy, opt.Strategy, strings.Join(listsched.StrategyNames(), ", "))
+	}
+	return s, nil
+}
 
 // Stats summarises the work done by the merging algorithm.
 type Stats struct {
@@ -269,6 +300,9 @@ func SchedulePhased(ctx context.Context, g *cpg.Graph, a *arch.Architecture, opt
 	if opt.Workers < 0 {
 		return nil, fmt.Errorf("%w; got %d", ErrNegativeWorkers, opt.Workers)
 	}
+	if _, err := resolveStrategy(opt); err != nil {
+		return nil, err
+	}
 	if err := a.Validate(); err != nil {
 		return nil, err
 	}
@@ -361,12 +395,18 @@ func SchedulePhased(ctx context.Context, g *cpg.Graph, a *arch.Architecture, opt
 }
 
 // schedulePaths produces the optimal schedule of every alternative path,
-// fanning the independent listsched runs out over a bounded worker pool.
-// The graph, architecture and paths are only read, and every worker writes
-// exclusively to its own result slot, so the fan-out is race-free; results
-// come back indexed by path so the outcome is identical to the sequential
-// loop regardless of worker count or completion order.
+// fanning the independent per-path strategy runs out over a bounded worker
+// pool — for the improvement strategies (tabu), the expensive per-path
+// iteration loops are exactly what rides the pool. The graph, architecture
+// and paths are only read, and every worker writes exclusively to its own
+// result slot, so the fan-out is race-free; results come back indexed by
+// path so the outcome is identical to the sequential loop regardless of
+// worker count or completion order.
 func schedulePaths(ctx context.Context, g *cpg.Graph, a *arch.Architecture, opt Options, paths []*cpg.Path) ([]*pathInfo, error) {
+	strategy, err := resolveStrategy(opt)
+	if err != nil {
+		return nil, err
+	}
 	infos := make([]*pathInfo, len(paths))
 	errs := make([]error, len(paths))
 	var failed atomic.Bool
@@ -384,7 +424,13 @@ func schedulePaths(ctx context.Context, g *cpg.Graph, a *arch.Architecture, opt 
 		}
 		p := paths[i]
 		sub := g.Subgraph(p)
-		ps, _, err := scratches[worker].Schedule(sub, a, listsched.Options{Priority: opt.PathPriority})
+		var ps *sched.PathSchedule
+		var err error
+		if strategy != nil {
+			ps, _, err = strategy.SchedulePath(&scratches[worker], sub, a, opt.StrategyParams)
+		} else {
+			ps, _, err = scratches[worker].Schedule(sub, a, listsched.Options{Priority: opt.PathPriority})
+		}
 		if err != nil {
 			errs[i] = fmt.Errorf("core: scheduling path %s: %w", p.Label.Format(g.CondName), err)
 			failed.Store(true)

@@ -52,6 +52,13 @@ const (
 	// computed schedule), which keeps relative priorities during schedule
 	// adjustment.
 	PriorityFixedOrder
+	// PriorityUrgency is the partial-critical-path priority: the remaining
+	// chain of every process is extended with the condition broadcast time
+	// τ0 for each condition decided along it, so chains that gate other
+	// processing elements through condition knowledge (requirement 4) are
+	// scheduled more urgently. Communication latency is already part of the
+	// chain because communication processes are explicit graph nodes.
+	PriorityUrgency
 )
 
 // String returns the name of the priority function.
@@ -61,6 +68,8 @@ func (p Priority) String() string {
 		return "critical-path"
 	case PriorityFixedOrder:
 		return "fixed-order"
+	case PriorityUrgency:
+		return "urgency"
 	default:
 		return fmt.Sprintf("priority(%d)", int(p))
 	}
@@ -249,9 +258,27 @@ func (sc *Scratch) Schedule(sub *cpg.Subgraph, a *arch.Architecture, opt Options
 		return a.EffectiveExec(g.Process(p).Exec, g.Process(p).PE)
 	}
 
+	// Deciders of the conditions decided on this path (needed both by the
+	// urgency priority below and by the broadcast scheduling later).
+	for _, c := range sub.DecidedConds() {
+		def := g.Condition(c)
+		if len(sc.deciders[def.Decider]) == 0 {
+			sc.decTouched = append(sc.decTouched, def.Decider)
+		}
+		sc.deciders[def.Decider] = append(sc.deciders[def.Decider], def)
+	}
+
 	// Priority values (smaller is picked first, matching the reference
 	// implementation's ascending sort of the ready list).
-	sc.cp = sub.CriticalPathLengthsInto(sc.cp, exec)
+	execPrio := exec
+	if opt.Priority == PriorityUrgency {
+		// The chain below a disjunction process is gated by the broadcast of
+		// the condition it decides: weight it with τ0 per decided condition.
+		execPrio = func(p cpg.ProcID) int64 {
+			return exec(p) + a.CondTime*int64(len(sc.deciders[p]))
+		}
+	}
+	sc.cp = sub.CriticalPathLengthsInto(sc.cp, execPrio)
 	for _, p := range active {
 		switch opt.Priority {
 		case PriorityFixedOrder:
@@ -290,14 +317,6 @@ func (sc *Scratch) Schedule(sub *cpg.Subgraph, a *arch.Architecture, opt Options
 		}
 	}
 
-	// Deciders of the conditions decided on this path.
-	for _, c := range sub.DecidedConds() {
-		def := g.Condition(c)
-		if len(sc.deciders[def.Decider]) == 0 {
-			sc.decTouched = append(sc.decTouched, def.Decider)
-		}
-		sc.deciders[def.Decider] = append(sc.deciders[def.Decider], def)
-	}
 	broadcastBuses := a.BroadcastBuses()
 	needBroadcast := len(a.ComputePEs()) > 1 && len(broadcastBuses) > 0
 

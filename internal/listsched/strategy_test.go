@@ -1,0 +1,248 @@
+package listsched
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/cond"
+	"repro/internal/cpg"
+	"repro/internal/gen"
+	"repro/internal/sched"
+)
+
+func TestStrategyRegistryBuiltins(t *testing.T) {
+	names := StrategyNames()
+	want := []string{"critical-path", "tabu", "urgency"}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("StrategyNames() = %v, want %v (sorted)", names, want)
+	}
+	for _, name := range names {
+		s, ok := LookupStrategy(name)
+		if !ok {
+			t.Fatalf("LookupStrategy(%q) not found", name)
+		}
+		if s.Name() != name {
+			t.Fatalf("strategy registered under %q reports name %q", name, s.Name())
+		}
+		if s.Describe() == "" {
+			t.Fatalf("strategy %q has no description", name)
+		}
+	}
+	if _, ok := LookupStrategy(DefaultStrategy); !ok {
+		t.Fatalf("default strategy %q not registered", DefaultStrategy)
+	}
+	if _, ok := LookupStrategy("no-such-strategy"); ok {
+		t.Fatalf("LookupStrategy must miss on unknown names")
+	}
+}
+
+func TestRegisterStrategyRejectsDuplicatesAndEmptyNames(t *testing.T) {
+	mustPanic := func(what string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("RegisterStrategy(%s) must panic", what)
+			}
+		}()
+		fn()
+	}
+	mustPanic("duplicate", func() {
+		RegisterStrategy(priorityStrategy{name: DefaultStrategy, desc: "dup", prio: PriorityCriticalPath})
+	})
+	mustPanic("empty name", func() {
+		RegisterStrategy(priorityStrategy{name: "", desc: "anon", prio: PriorityCriticalPath})
+	})
+}
+
+func TestPriorityUrgencyString(t *testing.T) {
+	if got := PriorityUrgency.String(); got != "urgency" {
+		t.Fatalf("PriorityUrgency.String() = %q, want %q", got, "urgency")
+	}
+}
+
+// strategyInstance generates a mid-sized instance with conditions, so every
+// strategy exercises broadcasts and the knowledge constraint.
+func strategyInstance(t testing.TB, seed int64) *gen.Instance {
+	t.Helper()
+	inst, err := gen.Generate(gen.Config{
+		Seed: seed, Nodes: 40, TargetPaths: 6, Processors: 3, Hardware: 1, Buses: 2,
+	})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return inst
+}
+
+// TestStrategiesProduceValidSchedules runs every registered strategy over
+// every alternative path of generated instances: the schedules must be
+// complete (one entry per active real process), diagnostics-clean, and the
+// improvement strategy must never be worse than the critical-path baseline
+// on any individual path.
+func TestStrategiesProduceValidSchedules(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		inst := strategyInstance(t, seed)
+		paths, err := inst.Graph.AlternativePaths(0)
+		if err != nil {
+			t.Fatalf("AlternativePaths: %v", err)
+		}
+		baseline := make([]int64, len(paths))
+		sc := NewScratch()
+		for i, p := range paths {
+			ps, diag, err := sc.Schedule(inst.Graph.Subgraph(p), inst.Arch, Options{Priority: PriorityCriticalPath})
+			if err != nil {
+				t.Fatalf("baseline path %d: %v", i, err)
+			}
+			if !diag.OK() {
+				t.Fatalf("baseline path %d diagnostics: %+v", i, diag)
+			}
+			baseline[i] = ps.Delay
+		}
+		for _, name := range StrategyNames() {
+			strat, _ := LookupStrategy(name)
+			ssc := NewScratch()
+			for i, p := range paths {
+				sub := inst.Graph.Subgraph(p)
+				ps, diag, err := strat.SchedulePath(ssc, sub, inst.Arch, StrategyParams{})
+				if err != nil {
+					t.Fatalf("strategy %s path %d: %v", name, i, err)
+				}
+				if !diag.OK() {
+					t.Fatalf("strategy %s path %d diagnostics: %+v", name, i, diag)
+				}
+				for _, id := range sub.ActiveProcs() {
+					if _, ok := ps.Entry(sched.ProcKey(id)); !ok {
+						t.Fatalf("strategy %s path %d: missing entry for process %d", name, i, id)
+					}
+				}
+				if name == "tabu" && ps.Delay > baseline[i] {
+					t.Fatalf("seed %d path %d: tabu delay %d worse than critical-path %d",
+						seed, i, ps.Delay, baseline[i])
+				}
+			}
+		}
+	}
+}
+
+// broadcastBoundGraph builds the canonical scenario where the urgency
+// priority pays off: on pe1 a disjunction process D (exec 9, decides C) and
+// an independent process X (exec 12) compete, C gates a short remote chain
+// on pe2, and the broadcast time is large (τ0 = 10). The plain critical
+// path of D (9+1+1 = 11) is shorter than X (12), so the critical-path
+// priority runs X first and serializes D behind it — pushing the broadcast,
+// and with it the whole remote chain, late. The urgency priority adds τ0 to
+// D's chain (21 > 12) and runs D first.
+func broadcastBoundGraph(t *testing.T) (*cpg.Graph, *arch.Architecture, cond.Cond) {
+	t.Helper()
+	a := arch.New()
+	pe1 := a.AddProcessor("pe1", 1)
+	pe2 := a.AddProcessor("pe2", 1)
+	a.AddBus("bus", true)
+	a.SetCondTime(10)
+	g := cpg.New("broadcast-bound")
+	d := g.AddProcess("D", 9, pe1)
+	x := g.AddProcess("X", 12, pe1)
+	y := g.AddProcess("Y", 1, pe2)
+	f := g.AddProcess("F", 1, pe1)
+	j := g.AddProcess("J", 1, pe2)
+	c := g.AddCondition("C", d)
+	g.AddCondEdge(d, y, c, true)
+	g.AddCondEdge(d, f, c, false)
+	g.AddEdge(y, j)
+	g.AddEdge(f, j)
+	_ = x
+	if err := g.Finalize(a); err != nil {
+		t.Fatalf("Finalize: %v", err)
+	}
+	return g, a, c
+}
+
+// TestUrgencyBeatsCriticalPathOnBroadcastBoundGraph pins the quality
+// mechanism of the urgency and tabu strategies: on the broadcast-bound graph
+// the critical-path priority yields delay 33 on the C=true path, urgency
+// yields 21, and tabu recovers the same improvement from the critical-path
+// baseline.
+func TestUrgencyBeatsCriticalPathOnBroadcastBoundGraph(t *testing.T) {
+	g, a, c := broadcastBoundGraph(t)
+	sub := g.SubgraphFor(cond.MustCube(cond.Lit{Cond: c, Val: true}))
+
+	cp, diag, err := Schedule(sub, a, Options{Priority: PriorityCriticalPath})
+	if err != nil || !diag.OK() {
+		t.Fatalf("critical-path: %v %+v", err, diag)
+	}
+	ur, diag, err := Schedule(sub, a, Options{Priority: PriorityUrgency})
+	if err != nil || !diag.OK() {
+		t.Fatalf("urgency: %v %+v", err, diag)
+	}
+	if cp.Delay != 33 || ur.Delay != 21 {
+		t.Fatalf("delays critical-path/urgency = %d/%d, want 33/21", cp.Delay, ur.Delay)
+	}
+	tabu, _ := LookupStrategy("tabu")
+	tb, _, err := tabu.SchedulePath(NewScratch(), sub, a, StrategyParams{})
+	if err != nil {
+		t.Fatalf("tabu: %v", err)
+	}
+	if tb.Delay > ur.Delay {
+		t.Fatalf("tabu delay %d did not recover the urgency improvement %d", tb.Delay, ur.Delay)
+	}
+}
+
+// TestTabuDeterministic pins reproducibility: two independent runs (fresh
+// scratches) must produce identical schedules, the property the differential
+// worker-count test and the memo cache both rest on.
+func TestTabuDeterministic(t *testing.T) {
+	inst := strategyInstance(t, 7)
+	paths, err := inst.Graph.AlternativePaths(0)
+	if err != nil {
+		t.Fatalf("AlternativePaths: %v", err)
+	}
+	tabu, _ := LookupStrategy("tabu")
+	for i, p := range paths {
+		sub := inst.Graph.Subgraph(p)
+		first, _, err := tabu.SchedulePath(NewScratch(), sub, inst.Arch, StrategyParams{})
+		if err != nil {
+			t.Fatalf("first run path %d: %v", i, err)
+		}
+		second, _, err := tabu.SchedulePath(NewScratch(), sub, inst.Arch, StrategyParams{})
+		if err != nil {
+			t.Fatalf("second run path %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(first.Entries(), second.Entries()) {
+			t.Fatalf("path %d: tabu schedules differ between identical runs", i)
+		}
+	}
+}
+
+// TestTabuParamBounds pins the knobs: negative iterations return the
+// baseline unchanged, and a tiny wall-clock budget still yields a schedule
+// no worse than the baseline.
+func TestTabuParamBounds(t *testing.T) {
+	inst := strategyInstance(t, 9)
+	paths, err := inst.Graph.AlternativePaths(0)
+	if err != nil {
+		t.Fatalf("AlternativePaths: %v", err)
+	}
+	sub := inst.Graph.Subgraph(paths[0])
+	base, _, err := Schedule(sub, inst.Arch, Options{Priority: PriorityCriticalPath})
+	if err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+	tabu, _ := LookupStrategy("tabu")
+
+	off, _, err := tabu.SchedulePath(NewScratch(), sub, inst.Arch, StrategyParams{TabuIterations: -1})
+	if err != nil {
+		t.Fatalf("disabled tabu: %v", err)
+	}
+	if !reflect.DeepEqual(off.Entries(), base.Entries()) {
+		t.Fatalf("TabuIterations < 0 must return the critical-path baseline unchanged")
+	}
+
+	budgeted, _, err := tabu.SchedulePath(NewScratch(), sub, inst.Arch, StrategyParams{Budget: time.Nanosecond})
+	if err != nil {
+		t.Fatalf("budgeted tabu: %v", err)
+	}
+	if budgeted.Delay > base.Delay {
+		t.Fatalf("budgeted tabu delay %d worse than baseline %d", budgeted.Delay, base.Delay)
+	}
+}

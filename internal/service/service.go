@@ -142,7 +142,14 @@ func (s *Service) Stats() Stats {
 
 // Hash returns the content hash of a problem (the memo key): the hash of its
 // canonical v1 document with the worker count cleared, since workers never
-// change the produced table.
+// change the produced table. Every result-shaping deterministic option —
+// path selection, conflict policy, scheduling priority and strategy with
+// its tabu bounds — is part of the document and therefore of the key, so
+// solutions computed under one strategy are never served for another. The
+// wall-clock tabu budget of listsched.StrategyParams is not part of the
+// document (a truncated loop is timing-dependent), so Schedule bypasses the
+// memo entirely for budgeted requests: they neither read stale entries nor
+// poison the cache with run-to-run-varying schedules.
 func (s *Service) Hash(p *Problem) (string, error) {
 	return textio.ProblemHash(textio.EncodeProblem(p.Graph, p.Arch, p.Options))
 }
@@ -170,8 +177,14 @@ func (s *Service) Schedule(ctx context.Context, p *Problem) (*Solution, error) {
 	if err != nil {
 		return nil, err
 	}
-	if res, ok := s.cache.Get(hash); ok {
-		return &Solution{Result: res, ProblemHash: hash, CacheHit: true}, nil
+	// A wall-clock tabu budget truncates the improvement loop at a
+	// timing-dependent iteration, so the result is not a pure function of
+	// the hash: keep such runs out of the memo in both directions.
+	memoizable := p.Options.StrategyParams.Budget <= 0
+	if memoizable {
+		if res, ok := s.cache.Get(hash); ok {
+			return &Solution{Result: res, ProblemHash: hash, CacheHit: true}, nil
+		}
 	}
 	want := p.Options.Workers
 	if want <= 0 || want > s.budget {
@@ -215,7 +228,9 @@ func (s *Service) Schedule(ctx context.Context, p *Problem) (*Solution, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.cache.Add(hash, res)
+	if memoizable {
+		s.cache.Add(hash, res)
+	}
 	return &Solution{Result: res, ProblemHash: hash, Workers: granted}, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/expr"
@@ -86,6 +87,86 @@ func TestScheduleCacheHit(t *testing.T) {
 	}
 	if fourth.CacheHit {
 		t.Fatalf("changed options must miss the cache")
+	}
+}
+
+// TestScheduleStrategyKeysMemo pins the memo-key contract of the strategy
+// subsystem: the same problem under two different scheduling strategies is
+// two different cache entries (two misses, two hashes), and repeating each
+// strategy hits its own entry — cached solutions never cross strategies.
+func TestScheduleStrategyKeysMemo(t *testing.T) {
+	svc := mustNew(t, Config{Workers: 2})
+	urgency := figure1Problem(t)
+	urgency.Options.Strategy = "urgency"
+	tabu := figure1Problem(t)
+	tabu.Options.Strategy = "tabu"
+
+	first, err := svc.Schedule(context.Background(), urgency)
+	if err != nil {
+		t.Fatalf("Schedule(urgency): %v", err)
+	}
+	second, err := svc.Schedule(context.Background(), tabu)
+	if err != nil {
+		t.Fatalf("Schedule(tabu): %v", err)
+	}
+	if first.CacheHit || second.CacheHit {
+		t.Fatalf("different strategies must both miss the memo: %v %v", first.CacheHit, second.CacheHit)
+	}
+	if first.ProblemHash == second.ProblemHash {
+		t.Fatalf("strategy must be part of the problem hash; both hashed to %q", first.ProblemHash)
+	}
+	if st := svc.Stats(); st.CacheMisses != 2 || st.CacheHits != 0 {
+		t.Fatalf("want two misses and no hits, got %+v", st)
+	}
+	for _, p := range []*Problem{urgency, tabu} {
+		again, err := svc.Schedule(context.Background(), p)
+		if err != nil {
+			t.Fatalf("Schedule(repeat %s): %v", p.Options.Strategy, err)
+		}
+		if !again.CacheHit {
+			t.Fatalf("repeated %s request must hit its own memo entry", p.Options.Strategy)
+		}
+	}
+	// An unknown strategy is rejected by the core before any tokens or memo
+	// slots are touched.
+	bogus := figure1Problem(t)
+	bogus.Options.Strategy = "branch-and-bound"
+	if _, err := svc.Schedule(context.Background(), bogus); !errors.Is(err, core.ErrUnknownStrategy) {
+		t.Fatalf("unknown strategy must fail with ErrUnknownStrategy; got %v", err)
+	}
+}
+
+// TestScheduleBudgetBypassesMemo pins the timing-dependence guard: a
+// request with a wall-clock tabu budget never reads the memo (it could be
+// served a differently-truncated run) and never writes it (it would poison
+// the deterministic entry for unbudgeted callers).
+func TestScheduleBudgetBypassesMemo(t *testing.T) {
+	svc := mustNew(t, Config{Workers: 2})
+	clean := figure1Problem(t)
+	clean.Options.Strategy = "tabu"
+	first, err := svc.Schedule(context.Background(), clean)
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	if first.CacheHit {
+		t.Fatalf("first request must miss")
+	}
+	budgeted := figure1Problem(t)
+	budgeted.Options.Strategy = "tabu"
+	budgeted.Options.StrategyParams.Budget = time.Second
+	bsol, err := svc.Schedule(context.Background(), budgeted)
+	if err != nil {
+		t.Fatalf("Schedule(budgeted): %v", err)
+	}
+	if bsol.CacheHit {
+		t.Fatalf("budgeted request must bypass the memo")
+	}
+	again, err := svc.Schedule(context.Background(), clean)
+	if err != nil {
+		t.Fatalf("Schedule(repeat): %v", err)
+	}
+	if !again.CacheHit || again.Result != first.Result {
+		t.Fatalf("unbudgeted repeat must hit the original deterministic entry")
 	}
 }
 

@@ -41,11 +41,26 @@ type OptionsDoc struct {
 	// (default, the paper's rule), "smallest" or "first".
 	Selection string `json:"selection,omitempty"`
 	// Priority is the list-scheduling priority: "cp" (critical path,
-	// default) or "order".
+	// default), "order" or "urgency".
 	Priority string `json:"priority,omitempty"`
 	// Conflicts selects the conflict resolution: "move" (Theorem 2,
 	// default) or "delay".
 	Conflicts string `json:"conflicts,omitempty"`
+	// Strategy names the per-path scheduling strategy from the listsched
+	// strategy registry ("critical-path", "urgency", "tabu"; empty selects
+	// the classic critical-path scheduler). Unknown names are rejected by
+	// DecodeOptions.
+	Strategy string `json:"strategy,omitempty"`
+	// TabuIterations and TabuNeighbors tune the "tabu" strategy with the
+	// listsched.StrategyParams semantics: 0 selects the defaults, negative
+	// iterations disable the improvement loop (critical-path baseline),
+	// non-positive neighbors select the default; other strategies ignore
+	// them. The values round-trip verbatim. The wall-clock budget of
+	// listsched.StrategyParams is deliberately not part of the document:
+	// it makes results timing-dependent, so it stays a programmatic,
+	// per-process knob.
+	TabuIterations int `json:"tabuIterations,omitempty"`
+	TabuNeighbors  int `json:"tabuNeighbors,omitempty"`
 	// MaxPaths bounds the number of alternative paths (0 = default bound).
 	MaxPaths int `json:"maxPaths,omitempty"`
 	// Workers bounds the per-request scheduling parallelism. It is advisory
@@ -57,19 +72,26 @@ type OptionsDoc struct {
 // out the canonical names so a decoded problem re-encodes identically.
 func EncodeOptions(o core.Options) *OptionsDoc {
 	return &OptionsDoc{
-		Selection: o.PathSelection.String(),
-		Priority:  priorityName(o.PathPriority),
-		Conflicts: conflictName(o.ConflictPolicy),
-		MaxPaths:  o.MaxPaths,
-		Workers:   o.Workers,
+		Selection:      o.PathSelection.String(),
+		Priority:       priorityName(o.PathPriority),
+		Conflicts:      conflictName(o.ConflictPolicy),
+		Strategy:       o.Strategy,
+		TabuIterations: o.StrategyParams.TabuIterations,
+		TabuNeighbors:  o.StrategyParams.TabuNeighbors,
+		MaxPaths:       o.MaxPaths,
+		Workers:        o.Workers,
 	}
 }
 
 func priorityName(p listsched.Priority) string {
-	if p == listsched.PriorityFixedOrder {
+	switch p {
+	case listsched.PriorityFixedOrder:
 		return "order"
+	case listsched.PriorityUrgency:
+		return "urgency"
+	default:
+		return "cp"
 	}
-	return "cp"
 }
 
 func conflictName(c core.ConflictPolicy) string {
@@ -93,16 +115,18 @@ func ParseSelection(s string) (core.PathSelection, error) {
 	return 0, fmt.Errorf("textio: unknown path selection %q (want largest, smallest or first)", s)
 }
 
-// ParsePriority parses a list-scheduling priority name ("cp", "order"; ""
-// selects the default).
+// ParsePriority parses a list-scheduling priority name ("cp", "order",
+// "urgency"; "" selects the default).
 func ParsePriority(s string) (listsched.Priority, error) {
 	switch s {
 	case "", "cp", listsched.PriorityCriticalPath.String():
 		return listsched.PriorityCriticalPath, nil
 	case "order", listsched.PriorityFixedOrder.String():
 		return listsched.PriorityFixedOrder, nil
+	case listsched.PriorityUrgency.String():
+		return listsched.PriorityUrgency, nil
 	}
-	return 0, fmt.Errorf("textio: unknown scheduling priority %q (want cp or order)", s)
+	return 0, fmt.Errorf("textio: unknown scheduling priority %q (want cp, order or urgency)", s)
 }
 
 // ParseConflicts parses a conflict-policy name ("move", "delay"; "" selects
@@ -117,9 +141,25 @@ func ParseConflicts(s string) (core.ConflictPolicy, error) {
 	return 0, fmt.Errorf("textio: unknown conflict policy %q (want move or delay)", s)
 }
 
+// ParseStrategy validates a scheduling strategy name against the listsched
+// strategy registry ("" selects the default classic scheduler and is
+// returned unchanged).
+func ParseStrategy(s string) (string, error) {
+	if s == "" {
+		return "", nil
+	}
+	if _, ok := listsched.LookupStrategy(s); !ok {
+		return "", fmt.Errorf("textio: unknown scheduling strategy %q (registered: %s)",
+			s, strings.Join(listsched.StrategyNames(), ", "))
+	}
+	return s, nil
+}
+
 // DecodeOptions converts an options document (nil selects every default)
-// into core.Options, validating the enumeration names and rejecting negative
-// MaxPaths and Workers.
+// into core.Options, validating the enumeration names and the strategy name
+// and rejecting negative MaxPaths and Workers. The tabu bounds pass through
+// verbatim (negative values carry the listsched.StrategyParams semantics),
+// so every encodable option value decodes back losslessly.
 func DecodeOptions(d *OptionsDoc) (core.Options, error) {
 	var o core.Options
 	if d == nil {
@@ -135,6 +175,11 @@ func DecodeOptions(d *OptionsDoc) (core.Options, error) {
 	if o.ConflictPolicy, err = ParseConflicts(d.Conflicts); err != nil {
 		return o, err
 	}
+	if o.Strategy, err = ParseStrategy(d.Strategy); err != nil {
+		return o, err
+	}
+	o.StrategyParams.TabuIterations = d.TabuIterations
+	o.StrategyParams.TabuNeighbors = d.TabuNeighbors
 	if d.MaxPaths < 0 {
 		return o, fmt.Errorf("textio: options.maxPaths must be >= 0; got %d", d.MaxPaths)
 	}

@@ -58,9 +58,15 @@ func TestProblemRoundTripRandom(t *testing.T) {
 		}
 		opts := core.Options{
 			PathSelection:  core.PathSelection(seed % 3),
-			PathPriority:   listsched.Priority(seed % 2),
+			PathPriority:   listsched.Priority(seed % 3),
 			ConflictPolicy: core.ConflictPolicy(seed % 2),
+			Strategy:       []string{"", "critical-path", "urgency", "tabu"}[seed%4],
 			MaxPaths:       int(seed),
+		}
+		if opts.Strategy == "tabu" {
+			// seed 3 exercises the negative "loop disabled" value, which
+			// must survive the round-trip like any other bound.
+			opts.StrategyParams = listsched.StrategyParams{TabuIterations: int(seed)*3 - 10, TabuNeighbors: int(seed)}
 		}
 		doc := EncodeProblem(inst.Graph, inst.Arch, opts)
 		var buf bytes.Buffer
@@ -189,6 +195,13 @@ func TestProblemDecodeErrors(t *testing.T) {
 			},
 			wantErr: "workers must be >= 0",
 		},
+		{
+			name: "unknown strategy",
+			mutate: func(s string) string {
+				return strings.Replace(s, `"selection": "largest-delay"`, `"selection": "largest-delay", "strategy": "branch-and-bound"`, 1)
+			},
+			wantErr: "unknown scheduling strategy",
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -230,6 +243,28 @@ func TestProblemHashWorkersInsensitive(t *testing.T) {
 	if hSel == h0 {
 		t.Fatalf("path selection must change the problem hash")
 	}
+	hPrio, err := ProblemHash(EncodeProblem(g, a, core.Options{PathPriority: listsched.PriorityUrgency}))
+	if err != nil {
+		t.Fatalf("ProblemHash: %v", err)
+	}
+	if hPrio == h0 {
+		t.Fatalf("path priority must change the problem hash (urgency vs cp)")
+	}
+	hStrat, err := ProblemHash(EncodeProblem(g, a, core.Options{Strategy: "tabu"}))
+	if err != nil {
+		t.Fatalf("ProblemHash: %v", err)
+	}
+	if hStrat == h0 {
+		t.Fatalf("scheduling strategy must change the problem hash")
+	}
+	hTabu, err := ProblemHash(EncodeProblem(g, a, core.Options{Strategy: "tabu",
+		StrategyParams: listsched.StrategyParams{TabuIterations: 64}}))
+	if err != nil {
+		t.Fatalf("ProblemHash: %v", err)
+	}
+	if hTabu == hStrat {
+		t.Fatalf("tabu bounds must change the problem hash")
+	}
 	// Hashing must not mutate the document.
 	doc := EncodeProblem(g, a, core.Options{Workers: 8})
 	if _, err := ProblemHash(doc); err != nil {
@@ -240,9 +275,24 @@ func TestProblemHashWorkersInsensitive(t *testing.T) {
 	}
 }
 
+func TestParseStrategy(t *testing.T) {
+	if name, err := ParseStrategy(""); err != nil || name != "" {
+		t.Fatalf(`ParseStrategy("") = %q, %v; want "" (the default scheduler)`, name, err)
+	}
+	for _, name := range listsched.StrategyNames() {
+		got, err := ParseStrategy(name)
+		if err != nil || got != name {
+			t.Fatalf("ParseStrategy(%q) = %q, %v", name, got, err)
+		}
+	}
+	if _, err := ParseStrategy("branch-and-bound"); err == nil || !strings.Contains(err.Error(), "unknown scheduling strategy") {
+		t.Fatalf("unknown name must be rejected with the registered list; got %v", err)
+	}
+}
+
 func TestOptionsRoundTrip(t *testing.T) {
 	for _, sel := range []core.PathSelection{core.SelectLargestDelay, core.SelectSmallestDelay, core.SelectFirst} {
-		for _, prio := range []listsched.Priority{listsched.PriorityCriticalPath, listsched.PriorityFixedOrder} {
+		for _, prio := range []listsched.Priority{listsched.PriorityCriticalPath, listsched.PriorityFixedOrder, listsched.PriorityUrgency} {
 			for _, conf := range []core.ConflictPolicy{core.ConflictMoveToExisting, core.ConflictDelayToLatest} {
 				in := core.Options{PathSelection: sel, PathPriority: prio, ConflictPolicy: conf, MaxPaths: 3, Workers: 2}
 				out, err := DecodeOptions(EncodeOptions(in))

@@ -12,7 +12,7 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-BENCH="${BENCH:-BenchmarkTable1Figure1|BenchmarkScheduleRunParallel|BenchmarkScheduleParallelPaths|BenchmarkListSchedule120|BenchmarkListschedInner|BenchmarkValidateParallel|BenchmarkFig5Sweep}"
+BENCH="${BENCH:-BenchmarkTable1Figure1|BenchmarkScheduleRunParallel|BenchmarkScheduleParallelPaths|BenchmarkListSchedule120|BenchmarkListschedInner|BenchmarkValidateParallel|BenchmarkFig5Sweep|BenchmarkStrategies|BenchmarkTabuInner}"
 BENCHTIME="${BENCHTIME:-1s}"
 NOTE="${NOTE:-}"
 
