@@ -5,17 +5,30 @@
 //	cpgexper -exp fig4     # time charts of the optimal path schedules
 //	cpgexper -exp fig5     # increase of δmax over δM on generated graphs
 //	cpgexper -exp fig6     # execution time of the schedule merging
+//	cpgexper -exp sweep    # the Fig. 5/6 sweep as CSV only (implies -csv -)
 //	cpgexper -exp table2   # ATM OAM worst-case delays
 //	cpgexper -exp ablate   # sweep under every path-selection policy and
 //	                       # every registered scheduling strategy
-//	cpgexper -exp all      # everything above except ablate
+//	cpgexper -exp all      # everything above except sweep and ablate
 //
 // The Fig. 5 / Fig. 6 sweep uses a reduced number of graphs per cell by
-// default; pass -full to regenerate the paper's 1080-graph experiment, or
-// -graphs N to choose the number of graphs per (size, paths) cell. The sweep
-// runs on all CPUs by default (-workers N bounds it; the figures printed on
-// stdout are byte-identical for every worker count), and progress is
-// reported on stderr (-progress=false silences it).
+// default; pass -full to regenerate the paper's 1080-graph experiment,
+// -graphs N to choose the number of graphs per (size, paths) cell, and
+// -nodes/-paths to choose the cell grid. The sweep runs on all CPUs by
+// default (-workers N bounds it; the figures printed on stdout are
+// byte-identical for every worker count), and progress is reported on stderr
+// (-progress=false silences it).
+//
+// The sweep can also run distributed. The coordinator mode splits it into
+// -shards N shard jobs (stable per-graph assignment), fans them concurrently
+// over the -remote cpgserve servers (comma-separated base URLs; without
+// -remote the shards execute in this process under one shared worker
+// budget), retries a failed shard on the remaining backends, verifies
+// coverage and merges the partial results — the merged figures and CSV are
+// byte-identical to a single-process run with the same seed (wall-clock
+// columns aside; -zero-times zeroes them for diffing). For offline sharding,
+// -shard i/N runs one shard and writes its partial result document to
+// stdout, and -merge a.json,b.json,... recombines saved partials.
 //
 // Experiments that share generated instances reuse them instead of
 // regenerating: fig1 and fig4 share one worked-example run, and the ablation
@@ -24,17 +37,22 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/distrib"
 	"repro/internal/expr"
 	"repro/internal/gen"
 	"repro/internal/listsched"
+	"repro/internal/service"
 	"repro/internal/stats"
 	"repro/internal/textio"
 )
@@ -49,15 +67,36 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("cpgexper", flag.ContinueOnError)
 	fs.SetOutput(out)
-	exp := fs.String("exp", "all", "experiment to run: fig1, fig4, fig5, fig6, table2 or all")
+	exp := fs.String("exp", "all", "experiment to run: fig1, fig4, fig5, fig6, sweep, table2 or all")
 	full := fs.Bool("full", false, "run the full 1080-graph sweep of the paper (slower)")
 	graphs := fs.Int("graphs", 4, "graphs per (size, paths) cell of the Fig. 5/6 sweep")
-	seed := fs.Int64("seed", 1998, "random seed of the sweep")
+	nodesFlag := fs.String("nodes", "", "comma-separated graph sizes of the sweep (empty = 60,80,120)")
+	pathsFlag := fs.String("paths", "", "comma-separated path counts of the sweep (empty = 10,12,18,24,32)")
+	seed := fs.Int64("seed", expr.DefaultSeed, "random seed of the sweep")
 	workers := fs.Int("workers", 0, "worker goroutines for the sweep (0 = all CPUs, 1 = sequential)")
 	strategy := fs.String("strategy", "", "per-path scheduling strategy for the experiments: critical-path, urgency or tabu (-exp ablate sweeps all of them)")
 	progress := fs.Bool("progress", true, "report sweep progress on stderr")
+	shards := fs.Int("shards", 0, "split the sweep into N shards and run them through the coordinator (0 = single-process)")
+	remote := fs.String("remote", "", "comma-separated cpgserve base URLs executing sweep shards (empty = in-process)")
+	shardTimeout := fs.Duration("shard-timeout", distrib.DefaultShardTimeout, "per-attempt time limit of one shard on one backend before it fails over (negative = unbounded)")
+	shardSpec := fs.String("shard", "", "run only shard i/N of the sweep and write its partial result document to stdout (offline sharding)")
+	mergeFiles := fs.String("merge", "", "merge saved partial shard result documents (comma-separated files) instead of scheduling; renders only the sweep figures/CSV")
+	csvPath := fs.String("csv", "", "also write the sweep cells as CSV to this path (- = stdout)")
+	zeroTimes := fs.Bool("zero-times", false, "zero the wall-clock columns of sweep outputs (deterministic output for diffing)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	// An explicit `-seed 0` means the literal zero seed (the ZeroSeed
+	// sentinel), not "unset"; the sentinel value itself is reserved.
+	seedSet := false
+	fs.Visit(func(f *flag.Flag) { seedSet = seedSet || f.Name == "seed" })
+	if seedSet {
+		switch *seed {
+		case 0:
+			*seed = expr.ZeroSeed
+		case expr.ZeroSeed:
+			return fmt.Errorf("-seed %d is reserved (use 0 for the literal zero seed)", *seed)
+		}
 	}
 	var baseOpts core.Options
 	if *strategy != "" {
@@ -88,11 +127,18 @@ func run(args []string, out io.Writer) error {
 		fig1Result = r
 		return r, nil
 	}
-	sweepConfig := func(opts core.Options) expr.SweepConfig {
+	sweepConfig := func(opts core.Options) (expr.SweepConfig, error) {
 		cfg := expr.SweepConfig{GraphsPerCell: *graphs, Seed: *seed}
 		if *full {
 			cfg = expr.PaperSweep()
 			cfg.Seed = *seed
+		}
+		var err error
+		if cfg.Nodes, err = overrideList(cfg.Nodes, *nodesFlag); err != nil {
+			return cfg, fmt.Errorf("-nodes: %w", err)
+		}
+		if cfg.Paths, err = overrideList(cfg.Paths, *pathsFlag); err != nil {
+			return cfg, fmt.Errorf("-paths: %w", err)
 		}
 		cfg.Workers = *workers
 		cfg.Options = opts
@@ -104,10 +150,21 @@ func run(args []string, out io.Writer) error {
 				}
 			}
 		}
-		return cfg
+		return cfg, nil
 	}
 
-	if want("fig1") || want("table1") || want("fig2") {
+	// -shard writes a machine-readable partial result document: it runs
+	// exclusively, before any experiment, so no figure text can interleave
+	// with the JSON on stdout.
+	if *shardSpec != "" {
+		cfg, err := sweepConfig(baseOpts)
+		if err != nil {
+			return err
+		}
+		return writeShardPartial(out, cfg, *shardSpec)
+	}
+
+	if *mergeFiles == "" && (want("fig1") || want("table1") || want("fig2")) {
 		ran = true
 		r, err := figure1()
 		if err != nil {
@@ -116,7 +173,7 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintln(out, strings.TrimRight(expr.RenderFigure1(r), "\n"))
 		fmt.Fprintln(out)
 	}
-	if want("fig4") {
+	if *mergeFiles == "" && want("fig4") {
 		ran = true
 		r, err := figure1()
 		if err != nil {
@@ -125,34 +182,56 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintln(out, "Optimal schedules of the alternative paths of Fig. 1 (cf. Fig. 4):")
 		fmt.Fprintln(out, expr.Figure1Gantt(r))
 	}
-	if want("fig5") || want("fig6") {
+	if want("fig5") || want("fig6") || *exp == "sweep" || *mergeFiles != "" {
 		ran = true
-		cfg := sweepConfig(baseOpts)
-		start := time.Now()
-		cells, err := expr.RunSweep(cfg)
+		cfg, err := sweepConfig(baseOpts)
 		if err != nil {
 			return err
 		}
-		cfg = cfg.Normalize()
-		// Timing goes to stderr so stdout is byte-identical for every
-		// -workers value (and every machine).
-		fmt.Fprintf(os.Stderr, "sweep: total time %v\n", time.Since(start).Round(time.Millisecond))
-		fmt.Fprintf(out, "Sweep over %d graphs (%d per cell)\n\n",
-			len(cfg.Nodes)*len(cfg.Paths)*cfg.GraphsPerCell, cfg.GraphsPerCell)
-		if want("fig5") {
-			fmt.Fprintln(out, expr.RenderFig5(cells))
+		cells, err := runSweepCells(cfg, *mergeFiles, *shards, *remote, *shardTimeout, *progress)
+		if err != nil {
+			return err
 		}
-		if want("fig6") {
-			fmt.Fprintln(out, expr.RenderFig6(cells))
+		if *zeroTimes {
+			cells = expr.ZeroTimes(cells)
+		}
+		cfg = cfg.Normalize()
+		if *exp != "sweep" {
+			fmt.Fprintf(out, "Sweep over %d graphs (%d per cell)\n\n",
+				len(cfg.Nodes)*len(cfg.Paths)*cfg.GraphsPerCell, cfg.GraphsPerCell)
+			if want("fig5") {
+				fmt.Fprintln(out, expr.RenderFig5(cells))
+			}
+			if want("fig6") {
+				fmt.Fprintln(out, expr.RenderFig6(cells))
+			}
+		}
+		path := *csvPath
+		if path == "" && *exp == "sweep" {
+			path = "-"
+		}
+		if path != "" {
+			if err := writeCellsCSV(out, path, cells); err != nil {
+				return err
+			}
 		}
 	}
-	if *exp == "ablate" {
+	if *mergeFiles == "" && *exp == "ablate" {
 		ran = true
-		if err := runAblation(out, sweepConfig); err != nil {
+		// Validate the sweep flags once up front; the ablation closure can
+		// then drop the (now impossible) error.
+		if _, err := sweepConfig(core.Options{}); err != nil {
+			return err
+		}
+		mk := func(opts core.Options) expr.SweepConfig {
+			cfg, _ := sweepConfig(opts)
+			return cfg
+		}
+		if err := runAblation(out, mk); err != nil {
 			return err
 		}
 	}
-	if want("table2") {
+	if *mergeFiles == "" && want("table2") {
 		ran = true
 		res, err := expr.RunTable2(baseOpts)
 		if err != nil {
@@ -161,9 +240,175 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintln(out, expr.RenderTable2(res))
 	}
 	if !ran {
-		return fmt.Errorf("unknown experiment %q (want fig1, fig4, fig5, fig6, table2, ablate or all)", *exp)
+		return fmt.Errorf("unknown experiment %q (want fig1, fig4, fig5, fig6, sweep, table2, ablate or all)", *exp)
 	}
 	return nil
+}
+
+// overrideList parses a comma-separated list of positive integers, returning
+// def when the flag is empty.
+func overrideList(def []int, flagVal string) ([]int, error) {
+	if flagVal == "" {
+		return def, nil
+	}
+	var vals []int
+	seen := map[int]bool{}
+	for _, part := range strings.Split(flagVal, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("malformed value %q (want positive integers)", part)
+		}
+		if seen[n] {
+			return nil, fmt.Errorf("duplicate value %d", n)
+		}
+		seen[n] = true
+		vals = append(vals, n)
+	}
+	if len(vals) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return vals, nil
+}
+
+// splitList splits a comma-separated flag into its non-empty entries.
+func splitList(s string) []string {
+	var vals []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			vals = append(vals, part)
+		}
+	}
+	return vals
+}
+
+// runSweepCells produces the sweep cells by whichever mode the flags select:
+// merging saved partials, coordinating shards over backends, or the plain
+// single-process run.
+func runSweepCells(cfg expr.SweepConfig, mergeFiles string, shards int, remote string, shardTimeout time.Duration, progress bool) ([]expr.Cell, error) {
+	start := time.Now()
+	defer func() {
+		// Timing goes to stderr so stdout is byte-identical for every
+		// -workers value (and every machine).
+		fmt.Fprintf(os.Stderr, "sweep: total time %v\n", time.Since(start).Round(time.Millisecond))
+	}()
+	if mergeFiles != "" {
+		return mergePartialFiles(cfg, splitList(mergeFiles))
+	}
+	if shards > 0 || remote != "" {
+		return runCoordinated(cfg, shards, splitList(remote), shardTimeout, progress)
+	}
+	return expr.RunSweep(cfg)
+}
+
+// runCoordinated fans the sweep's shards over the remote servers (or an
+// in-process service sharing one worker budget) and merges the results.
+// Ctrl-C cancels the in-flight shard requests promptly.
+func runCoordinated(cfg expr.SweepConfig, shards int, remotes []string, shardTimeout time.Duration, progress bool) ([]expr.Cell, error) {
+	var backends []distrib.Backend
+	for _, u := range remotes {
+		backends = append(backends, distrib.HTTP{BaseURL: u})
+	}
+	if len(backends) == 0 {
+		// In-process fallback: one service so concurrent shards share the
+		// -workers budget instead of multiplying it.
+		svc, err := service.New(service.Config{Workers: cfg.Workers})
+		if err != nil {
+			return nil, err
+		}
+		backends = []distrib.Backend{distrib.InProcess{Service: svc}}
+	}
+	if shards < 1 {
+		shards = max(1, len(backends))
+	}
+	// Per-graph progress would interleave across concurrent shards; the
+	// coordinator reports per-shard completions instead.
+	cfg.Progress = nil
+	co := &distrib.Coordinator{Shards: shards, Backends: backends, ShardTimeout: shardTimeout}
+	if progress {
+		co.Log = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "sweep: "+format+"\n", args...)
+		}
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	return co.Run(ctx, cfg)
+}
+
+// writeShardPartial runs one shard of the sweep (the "i/N" spec) and writes
+// its v1 partial result document, ready for a later -merge.
+func writeShardPartial(out io.Writer, cfg expr.SweepConfig, spec string) error {
+	var i, n int
+	if _, err := fmt.Sscanf(spec, "%d/%d", &i, &n); err != nil || fmt.Sprintf("%d/%d", i, n) != spec {
+		return fmt.Errorf("malformed -shard %q (want i/N, e.g. 0/2)", spec)
+	}
+	cfg.ShardIndex, cfg.ShardCount = i, n
+	sh, err := expr.RunSweepShard(cfg)
+	if err != nil {
+		return err
+	}
+	hash, err := textio.SweepHash(textio.EncodeSweepRequest(cfg))
+	if err != nil {
+		return err
+	}
+	return textio.WriteSweepResponse(out, textio.EncodeSweepResponse(hash, sh))
+}
+
+// mergePartialFiles reads saved partial result documents and merges them
+// into cells, verifying that every partial belongs to the configured sweep
+// (content hash) and that together they cover it exactly.
+func mergePartialFiles(cfg expr.SweepConfig, files []string) ([]expr.Cell, error) {
+	if len(files) == 0 {
+		return nil, fmt.Errorf("-merge needs at least one partial result file")
+	}
+	wantHash, err := textio.SweepHash(textio.EncodeSweepRequest(cfg))
+	if err != nil {
+		return nil, err
+	}
+	var shardResults []*expr.ShardResult
+	for _, name := range files {
+		f, err := os.Open(name)
+		if err != nil {
+			return nil, err
+		}
+		doc, sh, err := textio.ReadSweepResponse(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		// Coordinate overlap alone cannot tell a partial of a different
+		// seed or options apart, so an absent hash is as unmergeable as a
+		// mismatched one: silently wrong figures are worse than an error.
+		if doc.SweepHash == "" {
+			return nil, fmt.Errorf("%s: partial result carries no sweepHash; cannot verify it belongs to this sweep", name)
+		}
+		if doc.SweepHash != wantHash {
+			return nil, fmt.Errorf("%s: partial result belongs to a different sweep (hash %s, want %s — check -nodes/-paths/-graphs/-seed)",
+				name, doc.SweepHash, wantHash)
+		}
+		shardResults = append(shardResults, sh)
+	}
+	return expr.MergeCells(cfg, shardResults)
+}
+
+// writeCellsCSV writes the sweep CSV to a file, or to the command output for
+// "-".
+func writeCellsCSV(out io.Writer, path string, cells []expr.Cell) error {
+	if path == "-" {
+		return expr.WriteSweepCSV(out, cells)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := expr.WriteSweepCSV(f, cells); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // runAblation reruns the Fig. 5 sweep under every path-selection policy and

@@ -1,49 +1,31 @@
 // Command cpgserve is a long-running HTTP scheduling server: it accepts v1
-// problem documents and returns schedule tables, sharing one scheduling
-// service (global worker budget + solved-problem memo) across all requests.
+// problem documents and returns schedule tables, and executes shards of the
+// Fig. 5/6 experiment sweep on behalf of a distributed coordinator, sharing
+// one scheduling service (global worker budget + solved-problem and
+// sweep-shard memos) across all requests.
 //
 // Usage:
 //
 //	cpgserve [-addr :8080] [-workers N] [-cache N] [-max-body BYTES]
 //
-// Endpoints:
-//
-//	POST /v1/schedule?workers=N   schedule a problem document, return the
-//	                              solution document (cache-aware); an optional
-//	                              &strategy= overrides the document's per-path
-//	                              scheduling strategy (critical-path, urgency,
-//	                              tabu, ...); unknown names get a 400 envelope
-//	POST /v1/simulate?cond=C=1    schedule, then re-enact the matching
-//	                              alternative paths against the table
-//	POST /v1/generate             generate a random problem document from
-//	                              the paper's structural parameters
-//	GET  /healthz                 liveness plus service counters
-//
-// Every error is reported as a JSON envelope {"error":{"status":...,
-// "message":...}}. The per-request ?workers= limit is clamped by the global
-// budget: concurrent requests share -workers tokens in total.
+// The handlers live in internal/httpserver (see its package documentation
+// for the endpoint list and conventions); this command only adds flags,
+// logging and graceful shutdown.
 package main
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
-	"fmt"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
-	"slices"
-	"strconv"
 	"syscall"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/gen"
+	"repro/internal/httpserver"
 	"repro/internal/service"
-	"repro/internal/sim"
-	"repro/internal/textio"
 )
 
 func main() {
@@ -55,13 +37,13 @@ func main() {
 	fs.Parse(os.Args[1:])
 
 	logger := log.New(os.Stderr, "cpgserve: ", log.LstdFlags)
-	srv, err := newServer(service.Config{Workers: *workers, CacheSize: *cache}, *maxBody)
+	srv, err := httpserver.New(service.Config{Workers: *workers, CacheSize: *cache}, *maxBody)
 	if err != nil {
 		logger.Fatal(err)
 	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.routes(logger),
+		Handler:           srv.Routes(logger),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -78,290 +60,11 @@ func main() {
 		httpSrv.Shutdown(shutdownCtx)
 	}()
 
-	logger.Printf("listening on %s (workers=%d, cache=%d)", *addr, srv.svc.Stats().Workers, *cache)
+	logger.Printf("listening on %s (workers=%d, cache=%d)", *addr, srv.Stats().Workers, *cache)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		logger.Fatal(err)
 	}
 	stop()
 	<-drained
 	logger.Print("shut down")
-}
-
-// server holds the shared state of the HTTP handlers.
-type server struct {
-	svc      *service.Service
-	genCache *gen.Cache
-	maxBody  int64
-	start    time.Time
-}
-
-func newServer(cfg service.Config, maxBody int64) (*server, error) {
-	svc, err := service.New(cfg)
-	if err != nil {
-		return nil, err
-	}
-	return &server{
-		svc:      svc,
-		genCache: gen.NewCache(0),
-		maxBody:  maxBody,
-		start:    time.Now(),
-	}, nil
-}
-
-// routes builds the request multiplexer with logging.
-func (s *server) routes(logger *log.Logger) http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/schedule", s.handleSchedule)
-	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
-	mux.HandleFunc("POST /v1/generate", s.handleGenerate)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	if logger == nil {
-		return mux
-	}
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		t := time.Now()
-		mux.ServeHTTP(w, r)
-		logger.Printf("%s %s (%v)", r.Method, r.URL.Path, time.Since(t).Round(time.Microsecond))
-	})
-}
-
-// errorDoc is the JSON error envelope of every non-2xx response.
-type errorDoc struct {
-	Error struct {
-		Status  int    `json:"status"`
-		Message string `json:"message"`
-	} `json:"error"`
-}
-
-// requestErrorStatus distinguishes an over-limit body (413, the client can
-// shrink the document or the operator can raise -max-body) from a malformed
-// one (400).
-func requestErrorStatus(err error) int {
-	var tooLarge *http.MaxBytesError
-	if errors.As(err, &tooLarge) {
-		return http.StatusRequestEntityTooLarge
-	}
-	return http.StatusBadRequest
-}
-
-func writeError(w http.ResponseWriter, status int, err error) {
-	var doc errorDoc
-	doc.Error.Status = status
-	doc.Error.Message = err.Error()
-	writeJSON(w, status, &doc)
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(v)
-}
-
-// readProblem parses the request body as a strict v1 problem document and
-// applies the optional ?workers= per-request limit.
-func (s *server) readProblem(w http.ResponseWriter, r *http.Request) (*service.Problem, error) {
-	doc, err := textio.ReadProblem(http.MaxBytesReader(w, r.Body, s.maxBody))
-	if err != nil {
-		return nil, err
-	}
-	prob, err := service.FromDoc(doc)
-	if err != nil {
-		return nil, err
-	}
-	if q := r.URL.Query().Get("workers"); q != "" {
-		n, err := strconv.Atoi(q)
-		if err != nil || n < 0 {
-			return nil, fmt.Errorf("malformed workers parameter %q (want a non-negative integer)", q)
-		}
-		prob.Options.Workers = n
-	}
-	if q := r.URL.Query().Get("strategy"); q != "" {
-		name, err := textio.ParseStrategy(q)
-		if err != nil {
-			return nil, err
-		}
-		prob.Options.Strategy = name
-	}
-	return prob, nil
-}
-
-// schedule runs one problem through the service, translating context
-// cancellation and scheduling failures into HTTP errors.
-func (s *server) schedule(w http.ResponseWriter, r *http.Request) (*service.Solution, bool) {
-	prob, err := s.readProblem(w, r)
-	if err != nil {
-		writeError(w, requestErrorStatus(err), err)
-		return nil, false
-	}
-	sol, err := s.svc.Schedule(r.Context(), prob)
-	if err != nil {
-		status := http.StatusInternalServerError
-		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			status = http.StatusRequestTimeout
-		}
-		writeError(w, status, err)
-		return nil, false
-	}
-	return sol, true
-}
-
-func (s *server) handleSchedule(w http.ResponseWriter, r *http.Request) {
-	sol, ok := s.schedule(w, r)
-	if !ok {
-		return
-	}
-	out := textio.EncodeSolution(sol.Result)
-	st := s.svc.Stats()
-	out.Cache = &textio.CacheDoc{
-		Hit:         sol.CacheHit,
-		Hits:        st.CacheHits,
-		Misses:      st.CacheMisses,
-		ProblemHash: sol.ProblemHash,
-	}
-	writeJSON(w, http.StatusOK, out)
-}
-
-// activationDoc is one activated activity of a simulated trace.
-type activationDoc struct {
-	Name  string `json:"name"`
-	Start int64  `json:"start"`
-	End   int64  `json:"end"`
-}
-
-// traceDoc is the re-enactment of one alternative path.
-type traceDoc struct {
-	Label       string          `json:"label"`
-	Delay       int64           `json:"delay"`
-	Violations  []string        `json:"violations,omitempty"`
-	Activations []activationDoc `json:"activations"`
-}
-
-// simulateDoc is the response of /v1/simulate.
-type simulateDoc struct {
-	Version  string     `json:"version"`
-	Name     string     `json:"name"`
-	DeltaM   int64      `json:"deltaM"`
-	DeltaMax int64      `json:"deltaMax"`
-	Traces   []traceDoc `json:"traces"`
-}
-
-func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
-	sol, ok := s.schedule(w, r)
-	if !ok {
-		return
-	}
-	g, a := sol.Graph, sol.Arch
-	selected := sol.Subgraphs
-	if spec := r.URL.Query().Get("cond"); spec != "" {
-		label, err := textio.ParseConds(g, spec)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
-			return
-		}
-		selected = nil
-		for _, sub := range sol.Subgraphs {
-			if sub.Label.Implies(label) {
-				selected = append(selected, sub)
-			}
-		}
-		if len(selected) == 0 {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("no alternative path matches %q", spec))
-			return
-		}
-	}
-	out := &simulateDoc{
-		Version:  textio.ProblemVersion,
-		Name:     g.Name(),
-		DeltaM:   sol.DeltaM,
-		DeltaMax: sol.DeltaMax,
-	}
-	for _, sub := range selected {
-		tr, err := sim.RunSubgraph(sub, a, sol.Table)
-		if err != nil {
-			writeError(w, http.StatusInternalServerError, err)
-			return
-		}
-		td := traceDoc{Label: sub.Label.Format(g.CondName), Delay: tr.Delay}
-		for _, v := range tr.Violations {
-			td.Violations = append(td.Violations, v.String())
-		}
-		for k, start := range tr.Start {
-			name := k.String()
-			if k.IsCond {
-				name = "broadcast " + g.CondName(k.Cond)
-			} else if p := g.Process(k.Proc); p != nil {
-				name = p.Name
-			}
-			td.Activations = append(td.Activations, activationDoc{Name: name, Start: start, End: tr.End[k]})
-		}
-		sortActivations(td.Activations)
-		out.Traces = append(out.Traces, td)
-	}
-	writeJSON(w, http.StatusOK, out)
-}
-
-func sortActivations(acts []activationDoc) {
-	slices.SortFunc(acts, func(a, b activationDoc) int {
-		if a.Start != b.Start {
-			if a.Start < b.Start {
-				return -1
-			}
-			return 1
-		}
-		switch {
-		case a.Name < b.Name:
-			return -1
-		case a.Name > b.Name:
-			return 1
-		}
-		return 0
-	})
-}
-
-func (s *server) handleGenerate(w http.ResponseWriter, r *http.Request) {
-	doc, err := textio.ReadGenDoc(http.MaxBytesReader(w, r.Body, s.maxBody))
-	if err != nil {
-		writeError(w, requestErrorStatus(err), err)
-		return
-	}
-	cfg, err := textio.DecodeGenConfig(doc)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	inst, err := s.genCache.Generate(cfg)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, textio.EncodeProblem(inst.Graph, inst.Arch, core.Options{}))
-}
-
-// healthDoc is the /healthz response.
-type healthDoc struct {
-	Status   string `json:"status"`
-	UptimeMs int64  `json:"uptimeMs"`
-	Requests int64  `json:"requests"`
-	Workers  int    `json:"workers"`
-	Cache    struct {
-		Hits    int64 `json:"hits"`
-		Misses  int64 `json:"misses"`
-		Entries int   `json:"entries"`
-	} `json:"cache"`
-}
-
-func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	st := s.svc.Stats()
-	doc := &healthDoc{
-		Status:   "ok",
-		UptimeMs: time.Since(s.start).Milliseconds(),
-		Requests: st.Requests,
-		Workers:  st.Workers,
-	}
-	doc.Cache.Hits = st.CacheHits
-	doc.Cache.Misses = st.CacheMisses
-	doc.Cache.Entries = st.CacheLen
-	writeJSON(w, http.StatusOK, doc)
 }

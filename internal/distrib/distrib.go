@@ -1,0 +1,222 @@
+// Package distrib coordinates a distributed Fig. 5/6 sweep: it partitions
+// the sweep into shards (the stable per-graph assignment of
+// expr.SweepConfig), fans the shards concurrently over one or more backends
+// — remote cpgserve instances via POST /v1/sweep, or in-process execution —
+// retries a failed shard on the remaining backends, accounts for coverage
+// and merges the partial results into the exact cells a single-process run
+// produces, byte for byte.
+package distrib
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"time"
+
+	"repro/internal/expr"
+	"repro/internal/service"
+	"repro/internal/textio"
+)
+
+// DefaultShardTimeout bounds one shard attempt on one backend when
+// Coordinator.ShardTimeout is zero. Without a bound, a wedged-but-connected
+// server (stopped process, blackholed network) would block its shard forever
+// and the retry-on-surviving-backends failover would never trigger; with
+// one, the attempt fails after the timeout and the shard migrates.
+const DefaultShardTimeout = 15 * time.Minute
+
+// Backend executes one shard of a sweep.
+type Backend interface {
+	// Name identifies the backend in error messages and logs.
+	Name() string
+	// RunShard executes the shard selected by cfg and returns its raw
+	// per-graph results. Implementations must honour ctx cancellation.
+	RunShard(ctx context.Context, cfg expr.SweepConfig) (*expr.ShardResult, error)
+}
+
+// InProcess executes shards in this process. With a Service attached the
+// shard runs under the service's global worker budget and shard memo
+// (recommended when several shards run concurrently); without one it calls
+// expr.RunSweepShardContext directly with the config's own worker count.
+type InProcess struct {
+	Service *service.Service
+}
+
+// Name implements Backend.
+func (InProcess) Name() string { return "in-process" }
+
+// RunShard implements Backend.
+func (b InProcess) RunShard(ctx context.Context, cfg expr.SweepConfig) (*expr.ShardResult, error) {
+	if b.Service != nil {
+		sol, err := b.Service.SweepShard(ctx, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return sol.Shard, nil
+	}
+	return expr.RunSweepShardContext(ctx, cfg)
+}
+
+// HTTP executes shards on a remote cpgserve instance via POST /v1/sweep.
+type HTTP struct {
+	// BaseURL is the server address, e.g. "http://host:8080" (a trailing
+	// slash is tolerated).
+	BaseURL string
+	// Client is the HTTP client to use (nil = http.DefaultClient).
+	Client *http.Client
+}
+
+// Name implements Backend.
+func (b HTTP) Name() string { return b.BaseURL }
+
+// RunShard implements Backend: it posts the strict v1 sweep request document
+// and parses the strict v1 response, verifying that the served shard carries
+// the requested coordinates.
+func (b HTTP) RunShard(ctx context.Context, cfg expr.SweepConfig) (*expr.ShardResult, error) {
+	cfg = cfg.Normalize()
+	var body bytes.Buffer
+	if err := textio.WriteSweepRequest(&body, textio.EncodeSweepRequest(cfg)); err != nil {
+		return nil, err
+	}
+	url := b.BaseURL
+	for len(url) > 0 && url[len(url)-1] == '/' {
+		url = url[:len(url)-1]
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url+"/v1/sweep", &body)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	client := b.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		return nil, fmt.Errorf("POST /v1/sweep: %s: %s", resp.Status, bytes.TrimSpace(data))
+	}
+	_, sh, err := textio.ReadSweepResponse(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if sh.ShardIndex != cfg.ShardIndex || sh.ShardCount != cfg.ShardCount {
+		return nil, fmt.Errorf("server returned shard %d/%d for requested shard %d/%d",
+			sh.ShardIndex, sh.ShardCount, cfg.ShardIndex, cfg.ShardCount)
+	}
+	return sh, nil
+}
+
+// Coordinator fans the shards of a sweep over a set of backends and merges
+// the partial results.
+type Coordinator struct {
+	// Shards is the number of shards to split the sweep into (<= 1 means a
+	// single shard covering the whole sweep).
+	Shards int
+	// Backends execute the shards. Shard i is first offered to backend
+	// i mod len(Backends) (round-robin), and on failure retried once on
+	// each remaining backend, so a killed server only fails the sweep when
+	// no backend can take over its shards. Empty means one in-process
+	// backend without a service.
+	Backends []Backend
+	// Log, when non-nil, receives one line per shard completion and per
+	// retried failure.
+	Log func(format string, args ...any)
+	// ShardTimeout bounds one shard attempt on one backend, so a hung
+	// backend fails over instead of stalling the sweep (0 =
+	// DefaultShardTimeout, negative = unbounded).
+	ShardTimeout time.Duration
+}
+
+// logf emits a coordinator progress line, if logging is attached.
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.Log != nil {
+		c.Log(format, args...)
+	}
+}
+
+// Run executes the whole sweep — every shard, fanned out concurrently over
+// the coordinator's backends — and returns the merged cells, identical byte
+// for byte (timing aside) to expr.RunSweep of the same config. Cancelling
+// ctx aborts all in-flight shard requests promptly.
+func (c *Coordinator) Run(ctx context.Context, cfg expr.SweepConfig) ([]expr.Cell, error) {
+	shards, err := c.RunShards(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return expr.MergeCells(cfg, shards)
+}
+
+// RunShards executes every shard of the sweep and returns the partial
+// results in shard order, without merging (callers that persist or forward
+// partial results use this; Run is the merging convenience).
+func (c *Coordinator) RunShards(ctx context.Context, cfg expr.SweepConfig) ([]*expr.ShardResult, error) {
+	cfg = cfg.Normalize()
+	count := c.Shards
+	if count < 1 {
+		count = 1
+	}
+	backends := c.Backends
+	if len(backends) == 0 {
+		backends = []Backend{InProcess{}}
+	}
+	results := make([]*expr.ShardResult, count)
+	errs := make([]error, count)
+	done := make(chan struct{})
+	for i := 0; i < count; i++ {
+		go func(i int) {
+			defer func() { done <- struct{}{} }()
+			scfg := cfg
+			scfg.ShardIndex, scfg.ShardCount = i, count
+			results[i], errs[i] = c.runOneShard(ctx, scfg, backends)
+		}(i)
+	}
+	for i := 0; i < count; i++ {
+		<-done
+	}
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// runOneShard tries the shard's round-robin backend first, then retries on
+// each remaining backend, so a dead server's shards migrate instead of
+// failing the sweep.
+func (c *Coordinator) runOneShard(ctx context.Context, cfg expr.SweepConfig, backends []Backend) (*expr.ShardResult, error) {
+	timeout := c.ShardTimeout
+	if timeout == 0 {
+		timeout = DefaultShardTimeout
+	}
+	var errs []error
+	for attempt := 0; attempt < len(backends); attempt++ {
+		if err := ctx.Err(); err != nil {
+			errs = append(errs, err)
+			break
+		}
+		b := backends[(cfg.ShardIndex+attempt)%len(backends)]
+		attemptCtx, cancel := ctx, context.CancelFunc(func() {})
+		if timeout > 0 {
+			attemptCtx, cancel = context.WithTimeout(ctx, timeout)
+		}
+		sh, err := b.RunShard(attemptCtx, cfg)
+		cancel()
+		if err == nil {
+			c.logf("shard %d/%d done on %s (%d graphs)", cfg.ShardIndex, cfg.ShardCount, b.Name(), len(sh.Results))
+			return sh, nil
+		}
+		errs = append(errs, fmt.Errorf("distrib: shard %d/%d on %s: %w", cfg.ShardIndex, cfg.ShardCount, b.Name(), err))
+		if ctx.Err() == nil && attempt+1 < len(backends) {
+			c.logf("shard %d/%d failed on %s, retrying elsewhere: %v", cfg.ShardIndex, cfg.ShardCount, b.Name(), err)
+		}
+	}
+	return nil, errors.Join(errs...)
+}

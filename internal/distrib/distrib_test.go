@@ -1,0 +1,238 @@
+package distrib
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/expr"
+	"repro/internal/httpserver"
+	"repro/internal/service"
+)
+
+// testBackendServer mounts the production /v1/sweep handler on an httptest
+// server, so the coordinator is exercised against exactly what cpgserve
+// serves.
+func testBackendServer(t *testing.T, workers int) *httptest.Server {
+	t.Helper()
+	srv, err := httpserver.New(service.Config{Workers: workers}, 8<<20)
+	if err != nil {
+		t.Fatalf("httpserver.New: %v", err)
+	}
+	ts := httptest.NewServer(srv.Routes(nil))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func goldenCSV(t *testing.T) string {
+	t.Helper()
+	data, err := os.ReadFile("../../testdata/sweep_golden.csv")
+	if err != nil {
+		t.Fatalf("reading golden sweep CSV (regenerate with `go run ./scripts/gengolden`): %v", err)
+	}
+	return string(data)
+}
+
+func cellsCSV(t *testing.T, cells []expr.Cell) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := expr.WriteSweepCSV(&buf, expr.ZeroTimes(cells)); err != nil {
+		t.Fatalf("WriteSweepCSV: %v", err)
+	}
+	return buf.String()
+}
+
+// TestCoordinatorGoldenAcrossBackendMixes is the acceptance matrix of the
+// distributed sweep: for 1, 2 and 3 shards, over in-process execution, one
+// HTTP server, two HTTP servers, and a mixed in-process+HTTP set, the merged
+// CSV is byte-identical to testdata/sweep_golden.csv. The shard fan-out is
+// concurrent, so `go test -race ./internal/distrib` also races the whole
+// coordinator/service/handler stack.
+func TestCoordinatorGoldenAcrossBackendMixes(t *testing.T) {
+	golden := goldenCSV(t)
+	cfg := expr.GoldenSweep()
+	tsA := testBackendServer(t, 2)
+	tsB := testBackendServer(t, 1)
+	mixes := map[string][]Backend{
+		"in-process":  nil,
+		"one server":  {HTTP{BaseURL: tsA.URL}},
+		"two servers": {HTTP{BaseURL: tsA.URL}, HTTP{BaseURL: tsB.URL}},
+		"mixed":       {HTTP{BaseURL: tsA.URL}, InProcess{}},
+	}
+	for name, backends := range mixes {
+		for _, shards := range []int{1, 2, 3} {
+			co := &Coordinator{Shards: shards, Backends: backends}
+			cells, err := co.Run(context.Background(), cfg)
+			if err != nil {
+				t.Fatalf("%s, %d shards: %v", name, shards, err)
+			}
+			if got := cellsCSV(t, cells); got != golden {
+				t.Errorf("%s, %d shards: merged CSV differs from golden:\n--- golden\n%s\n--- got\n%s", name, shards, golden, got)
+			}
+		}
+	}
+}
+
+// TestCoordinatorRetriesDeadBackend pins the failover property: with one
+// backend killed (connection refused on every request), its shards migrate
+// to the surviving server and the sweep still reproduces the golden CSV.
+func TestCoordinatorRetriesDeadBackend(t *testing.T) {
+	golden := goldenCSV(t)
+	alive := testBackendServer(t, 2)
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close() // kill it: every request now fails to connect
+
+	var retries atomic.Int32
+	co := &Coordinator{
+		Shards:   3,
+		Backends: []Backend{HTTP{BaseURL: dead.URL}, HTTP{BaseURL: alive.URL}},
+		Log: func(format string, args ...any) {
+			if bytes.Contains([]byte(fmt.Sprintf(format, args...)), []byte("retrying")) {
+				retries.Add(1)
+			}
+		},
+	}
+	cells, err := co.Run(context.Background(), expr.GoldenSweep())
+	if err != nil {
+		t.Fatalf("coordinator with one dead backend: %v", err)
+	}
+	if got := cellsCSV(t, cells); got != golden {
+		t.Errorf("CSV after failover differs from golden:\n--- golden\n%s\n--- got\n%s", golden, got)
+	}
+	if retries.Load() == 0 {
+		t.Errorf("expected at least one shard retry off the dead backend")
+	}
+
+	// With every backend dead the sweep must fail loudly, not truncate.
+	co = &Coordinator{Shards: 2, Backends: []Backend{HTTP{BaseURL: dead.URL}}}
+	if _, err := co.Run(context.Background(), expr.GoldenSweep()); err == nil {
+		t.Fatalf("all-dead backends must fail the sweep")
+	}
+}
+
+// TestCoordinatorServerSideError checks that a server rejecting the shard
+// (HTTP error envelope) is surfaced through the retry chain.
+func TestCoordinatorServerSideError(t *testing.T) {
+	boom := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":{"status":500,"message":"boom"}}`, http.StatusInternalServerError)
+	}))
+	t.Cleanup(boom.Close)
+	co := &Coordinator{Shards: 2, Backends: []Backend{HTTP{BaseURL: boom.URL}}}
+	_, err := co.Run(context.Background(), expr.GoldenSweep())
+	if err == nil || !bytes.Contains([]byte(err.Error()), []byte("boom")) {
+		t.Fatalf("server-side error must be surfaced; got %v", err)
+	}
+}
+
+// hangServer serves /v1/sweep by never answering: the handler parks until
+// test cleanup, the deterministic stand-in for a wedged (connected but
+// unresponsive) backend. The explicit release channel matters: an HTTP/1
+// server whose handler never reads the body does not notice the client
+// abort, so parking on r.Context() alone would deadlock Server.Close.
+func hangServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	release := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-r.Context().Done():
+		case <-release:
+		}
+	}))
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() { close(release) }) // LIFO: runs before ts.Close
+	return ts
+}
+
+// TestCoordinatorCancelPromptly pins the cancellation property of the
+// coordinator: with a backend that never answers (and shard timeouts
+// disabled), only context propagation can make Run return — so a cancelled
+// coordinator returning at all, shortly after the cancel, proves the
+// in-flight shard requests were aborted promptly.
+func TestCoordinatorCancelPromptly(t *testing.T) {
+	hang := hangServer(t)
+	co := &Coordinator{Shards: 2, Backends: []Backend{HTTP{BaseURL: hang.URL}}, ShardTimeout: -1}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := co.Run(ctx, expr.GoldenSweep())
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatalf("cancelled coordinated sweep must fail")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled sweep must surface context.Canceled; got %v after %v", err, elapsed)
+	}
+	if elapsed > 10*time.Second {
+		t.Fatalf("cancellation not prompt: returned only after %v", elapsed)
+	}
+}
+
+// TestCoordinatorShardTimeoutFailover pins the hung-backend guarantee: a
+// backend that accepts connections but never answers exhausts its per-attempt
+// ShardTimeout, the shard migrates to the healthy server, and the sweep still
+// reproduces the golden CSV.
+func TestCoordinatorShardTimeoutFailover(t *testing.T) {
+	golden := goldenCSV(t)
+	hang := hangServer(t)
+	alive := testBackendServer(t, 2)
+	co := &Coordinator{
+		Shards:       3,
+		Backends:     []Backend{HTTP{BaseURL: hang.URL}, HTTP{BaseURL: alive.URL}},
+		ShardTimeout: 250 * time.Millisecond,
+	}
+	cells, err := co.Run(context.Background(), expr.GoldenSweep())
+	if err != nil {
+		t.Fatalf("coordinator with one hung backend: %v", err)
+	}
+	if got := cellsCSV(t, cells); got != golden {
+		t.Errorf("CSV after hung-backend failover differs from golden:\n--- golden\n%s\n--- got\n%s", golden, got)
+	}
+}
+
+// TestCoordinatorPreCancelled checks the fast path: a pre-cancelled context
+// never reaches a backend.
+func TestCoordinatorPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	co := &Coordinator{Shards: 2}
+	if _, err := co.Run(ctx, expr.GoldenSweep()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled coordinator must return context.Canceled; got %v", err)
+	}
+}
+
+// TestCoordinatorSharedServiceBudget runs the in-process backend through one
+// service, so concurrent shards share the global worker budget and the shard
+// memo — and a second identical run is served entirely from the memo.
+func TestCoordinatorSharedServiceBudget(t *testing.T) {
+	svc, err := service.New(service.Config{Workers: 2})
+	if err != nil {
+		t.Fatalf("service.New: %v", err)
+	}
+	co := &Coordinator{Shards: 3, Backends: []Backend{InProcess{Service: svc}}}
+	cfg := expr.GoldenSweep()
+	first, err := co.Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	second, err := co.Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if cellsCSV(t, first) != cellsCSV(t, second) {
+		t.Fatalf("memoized rerun differs from first run")
+	}
+	st := svc.Stats()
+	if st.SweepCacheHits < 3 {
+		t.Fatalf("second run must be served from the shard memo; stats %+v", st)
+	}
+}

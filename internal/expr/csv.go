@@ -7,6 +7,19 @@ import (
 	"time"
 )
 
+// ZeroTimes returns a copy of the cells with the wall-clock measurements
+// (AvgMergeTime, AvgPathSchedTime) zeroed, leaving only the deterministic
+// fields: the form used whenever sweep outputs are compared byte-for-byte
+// across runs, worker counts, shards or machines.
+func ZeroTimes(cells []Cell) []Cell {
+	out := append([]Cell(nil), cells...)
+	for i := range out {
+		out[i].AvgMergeTime = 0
+		out[i].AvgPathSchedTime = 0
+	}
+	return out
+}
+
 // WriteSweepCSV exports the cells of the Fig. 5 / Fig. 6 sweep as CSV, one
 // line per (graph size, path count) cell, so the figures can be re-plotted
 // with any external tool.

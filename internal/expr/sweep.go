@@ -1,7 +1,9 @@
 package expr
 
 import (
+	"context"
 	"fmt"
+	"math"
 	"math/rand"
 	"strings"
 	"sync"
@@ -13,6 +15,21 @@ import (
 	"repro/internal/pool"
 	"repro/internal/stats"
 )
+
+// DefaultSeed is the sweep seed substituted by Normalize when SweepConfig.Seed
+// is zero (the zero value of an unset config).
+const DefaultSeed = 1998
+
+// ZeroSeed is the sentinel requesting a literal zero sweep seed. A plain
+// Seed == 0 means "unset" and normalizes to DefaultSeed, which would make a
+// deliberate zero seed unreachable — and worse, would let a shard coordinator
+// and a sweep server silently disagree about which seed a document carrying 0
+// means. The sentinel survives Normalize unchanged (Normalize is idempotent)
+// and is resolved to the literal seed 0 only at the point of seed derivation,
+// so every layer — config, wire document, shard worker — agrees. The value
+// math.MinInt64 is therefore reserved and cannot be used as a real sweep
+// seed (the strict decoders reject it on the wire).
+const ZeroSeed = math.MinInt64
 
 // SweepConfig parameterises the synthetic-graph experiment behind Fig. 5 and
 // Fig. 6 of the paper. The paper uses 1080 graphs: 360 per graph size (60, 80
@@ -47,9 +64,21 @@ type SweepConfig struct {
 	// content hash, so repeated sweeps with the same Seed (e.g. ablations
 	// over Options) reuse the generated graphs instead of rebuilding them.
 	Cache *gen.Cache
+	// ShardIndex and ShardCount select one shard of the sweep for
+	// distributed execution: every (nodes, paths, index) graph is assigned
+	// to shard shardOf(...) % ShardCount by a stable hash of its
+	// coordinates, so shards are balanced, seed-independent and identical
+	// on every machine. ShardCount == 0 (or 1) means the whole sweep;
+	// RunSweepShard executes exactly one shard and MergeCells recombines
+	// the partial results of all shards into the cells a single-process
+	// run produces, byte for byte.
+	ShardIndex int
+	ShardCount int
 }
 
-// Normalize fills defaults.
+// Normalize fills defaults. It is idempotent: normalizing a normalized
+// config changes nothing (in particular the ZeroSeed sentinel is preserved,
+// not re-interpreted as "unset").
 func (c SweepConfig) Normalize() SweepConfig {
 	if len(c.Nodes) == 0 {
 		c.Nodes = []int{60, 80, 120}
@@ -61,15 +90,67 @@ func (c SweepConfig) Normalize() SweepConfig {
 		c.GraphsPerCell = 4
 	}
 	if c.Seed == 0 {
-		c.Seed = 1998
+		c.Seed = DefaultSeed
+	}
+	if c.ShardCount <= 0 {
+		c.ShardCount = 1
 	}
 	return c
+}
+
+// ValidateShard checks the shard coordinates of a config (after Normalize):
+// ShardIndex must lie in [0, ShardCount).
+func (c SweepConfig) ValidateShard() error {
+	if c.ShardCount < 1 {
+		return fmt.Errorf("expr: shard count must be >= 1; got %d", c.ShardCount)
+	}
+	if c.ShardIndex < 0 || c.ShardIndex >= c.ShardCount {
+		return fmt.Errorf("expr: shard index %d out of range [0, %d)", c.ShardIndex, c.ShardCount)
+	}
+	return nil
+}
+
+// validateGrid rejects duplicate Nodes or Paths entries: a duplicated cell
+// coordinate cannot be represented in the per-graph result accounting (two
+// graphs would share (nodes, paths, index)), so it is refused up front with
+// a clear message instead of surfacing later as a bogus sharding error.
+func (c SweepConfig) validateGrid() error {
+	seen := map[int]bool{}
+	for _, n := range c.Nodes {
+		if seen[n] {
+			return fmt.Errorf("expr: duplicate graph size %d in sweep config", n)
+		}
+		seen[n] = true
+	}
+	clear(seen)
+	for _, p := range c.Paths {
+		if seen[p] {
+			return fmt.Errorf("expr: duplicate path count %d in sweep config", p)
+		}
+		seen[p] = true
+	}
+	return nil
 }
 
 // PaperSweep returns the configuration of the full experiment of the paper
 // (1080 graphs).
 func PaperSweep() SweepConfig {
 	return SweepConfig{GraphsPerCell: 72}.Normalize()
+}
+
+// GoldenSweep returns the small fixed-seed sweep pinned byte-for-byte by
+// testdata/sweep_golden.csv (regenerated by scripts/gengolden): 12 graphs,
+// small enough for tier-1 tests and the sweep smoke script, large enough to
+// span several cells and shards — and seeded so several cells carry nonzero
+// δ increases, making the byte-identity tests sensitive to aggregation
+// order, not just to coverage.
+func GoldenSweep() SweepConfig {
+	return SweepConfig{
+		Nodes:         []int{60, 80},
+		Paths:         []int{10, 12},
+		GraphsPerCell: 3,
+		Seed:          7,
+	}.Normalize()
 }
 
 // Cell aggregates the measurements of one (graph size, path count) cell of
@@ -108,9 +189,14 @@ func splitmix64(x uint64) uint64 {
 
 // cellSeed derives the generator seed of graph i of the (nodes, paths) cell.
 // The derivation depends only on the sweep seed and the cell coordinates —
-// never on worker count or completion order — so a sweep is reproducible
-// cell-by-cell under any parallelism.
+// never on worker count, shard assignment or completion order — so a sweep is
+// reproducible cell-by-cell under any parallelism on any machine. The
+// ZeroSeed sentinel resolves to the literal seed 0 here, at the single point
+// of use, so every layer above can pass it around without special cases.
 func cellSeed(seed int64, nodes, paths, i int) int64 {
+	if seed == ZeroSeed {
+		seed = 0
+	}
 	h := splitmix64(uint64(seed))
 	h = splitmix64(h ^ uint64(nodes))
 	h = splitmix64(h ^ uint64(paths))
@@ -118,37 +204,115 @@ func cellSeed(seed int64, nodes, paths, i int) int64 {
 	return int64(h >> 1) // non-negative, rand.NewSource takes any int64 but keep it tidy
 }
 
+// shardOf assigns the graph at (nodes, paths, index) to one of count shards
+// by a stable splitmix64 hash of its coordinates. The assignment is
+// independent of the sweep seed and of execution order, so every coordinator
+// and worker — in-process or remote — computes the same balanced partition.
+func shardOf(nodes, paths, index, count int) int {
+	if count <= 1 {
+		return 0
+	}
+	h := splitmix64(uint64(nodes))
+	h = splitmix64(h ^ uint64(paths))
+	h = splitmix64(h ^ uint64(index))
+	return int(h % uint64(count))
+}
+
 // sweepJob identifies one graph of the sweep.
 type sweepJob struct {
 	nodes, paths, index int
 }
 
-// sweepResult carries the measurements of one scheduled graph.
-type sweepResult struct {
-	increasePct float64
-	mergeNs     float64
-	pathNs      float64
-	violation   bool
-	err         error
-}
-
-// RunSweep generates the graphs of the sweep, produces a schedule table for
-// every graph and aggregates the per-cell statistics. The graphs are
-// independent, so they are scheduled concurrently on cfg.Workers goroutines;
-// per-graph seeds are derived from cfg.Seed and the cell coordinates, and the
-// measurements are aggregated in cell order after all workers join, so the
-// returned cells (timing aside) are bit-identical for every worker count.
-func RunSweep(cfg SweepConfig) ([]Cell, error) {
-	cfg = cfg.Normalize()
-
-	var jobs []sweepJob
-	for _, nodes := range cfg.Nodes {
-		for _, paths := range cfg.Paths {
-			for i := 0; i < cfg.GraphsPerCell; i++ {
+// allJobs enumerates every graph of the (normalized) sweep in canonical
+// order: nodes-major, then paths, then index. Aggregation always follows this
+// order, which is what makes the cells bit-identical across worker counts and
+// shard layouts (float sums are order-sensitive).
+func (c SweepConfig) allJobs() []sweepJob {
+	jobs := make([]sweepJob, 0, len(c.Nodes)*len(c.Paths)*c.GraphsPerCell)
+	for _, nodes := range c.Nodes {
+		for _, paths := range c.Paths {
+			for i := 0; i < c.GraphsPerCell; i++ {
 				jobs = append(jobs, sweepJob{nodes: nodes, paths: paths, index: i})
 			}
 		}
 	}
+	return jobs
+}
+
+// shardJobs enumerates the graphs assigned to the config's shard, in
+// canonical order.
+func (c SweepConfig) shardJobs() []sweepJob {
+	jobs := c.allJobs()
+	if c.ShardCount <= 1 {
+		return jobs
+	}
+	var mine []sweepJob
+	for _, j := range jobs {
+		if shardOf(j.nodes, j.paths, j.index, c.ShardCount) == c.ShardIndex {
+			mine = append(mine, j)
+		}
+	}
+	return mine
+}
+
+// ShardSize reports how many graphs of the sweep the config's shard covers —
+// the useful upper bound on the shard's scheduling parallelism.
+func (c SweepConfig) ShardSize() int {
+	return len(c.Normalize().shardJobs())
+}
+
+// GraphResult is the raw measurement of one scheduled graph of the sweep,
+// keyed by its (Nodes, Paths, Index) coordinates. Shards exchange these —
+// not aggregated cells — so the coordinator can re-aggregate in canonical
+// job order and reproduce a single-process run bit for bit.
+type GraphResult struct {
+	Nodes int
+	Paths int
+	Index int
+	// IncreasePct is 100*(δmax-δM)/δM of the graph.
+	IncreasePct float64
+	// MergeNs and PathSchedNs are the wall-clock merge and path-scheduling
+	// times (run-dependent; zero them for byte-identity comparisons).
+	MergeNs     float64
+	PathSchedNs float64
+	// Violation reports a graph whose table failed validation (expected
+	// false everywhere).
+	Violation bool
+}
+
+// ShardResult carries the partial results of one shard of a sweep, with the
+// shard coordinates it covered, so a coordinator can account for coverage
+// and detect gaps before merging.
+type ShardResult struct {
+	ShardIndex int
+	ShardCount int
+	// Results holds one entry per graph of the shard, in canonical job
+	// order.
+	Results []GraphResult
+}
+
+// RunSweepShard executes one shard of the sweep and returns the raw
+// per-graph results. See RunSweepShardContext.
+func RunSweepShard(cfg SweepConfig) (*ShardResult, error) {
+	return RunSweepShardContext(context.Background(), cfg)
+}
+
+// RunSweepShardContext generates and schedules the graphs of the config's
+// shard on cfg.Workers goroutines and returns their raw measurements in
+// canonical job order. Per-graph seeds depend only on cfg.Seed and the graph
+// coordinates, so any partition of the sweep into shards — executed anywhere,
+// in any order — produces the same per-graph results. Cancelling ctx aborts
+// the shard promptly (between graphs and between merge back-steps of the
+// in-flight graphs) and returns ctx.Err().
+func RunSweepShardContext(ctx context.Context, cfg SweepConfig) (*ShardResult, error) {
+	cfg = cfg.Normalize()
+	if err := cfg.ValidateShard(); err != nil {
+		return nil, err
+	}
+	if err := cfg.validateGrid(); err != nil {
+		return nil, err
+	}
+	jobs := cfg.shardJobs()
 
 	// The sweep parallelises across graphs, so each graph's paths are
 	// scheduled on a single goroutine unless the caller explicitly asked
@@ -159,7 +323,8 @@ func RunSweep(cfg SweepConfig) ([]Cell, error) {
 		opts.Workers = 1
 	}
 
-	results := make([]sweepResult, len(jobs))
+	results := make([]GraphResult, len(jobs))
+	errs := make([]error, len(jobs))
 	var failed atomic.Bool
 	var mu sync.Mutex
 	done := 0
@@ -167,26 +332,35 @@ func RunSweep(cfg SweepConfig) ([]Cell, error) {
 		if failed.Load() {
 			return // a job already failed; drain the queue without working
 		}
+		fail := func(err error) {
+			errs[j] = err
+			failed.Store(true)
+		}
 		job := jobs[j]
 		key := stats.Key(job.nodes, job.paths)
+		if err := ctx.Err(); err != nil {
+			fail(err)
+			return
+		}
 		r := rand.New(rand.NewSource(cellSeed(cfg.Seed, job.nodes, job.paths, job.index)))
 		inst, err := cfg.Cache.Generate(gen.RandomConfig(r, job.nodes, job.paths))
 		if err != nil {
-			results[j].err = fmt.Errorf("expr: generating graph %d of cell %s: %w", job.index, key, err)
-			failed.Store(true)
+			fail(fmt.Errorf("expr: generating graph %d of cell %s: %w", job.index, key, err))
 			return
 		}
-		res, err := core.Schedule(inst.Graph, inst.Arch, opts)
+		res, err := core.ScheduleContext(ctx, inst.Graph, inst.Arch, opts)
 		if err != nil {
-			results[j].err = fmt.Errorf("expr: scheduling graph %d of cell %s: %w", job.index, key, err)
-			failed.Store(true)
+			fail(fmt.Errorf("expr: scheduling graph %d of cell %s: %w", job.index, key, err))
 			return
 		}
-		results[j] = sweepResult{
-			increasePct: res.IncreasePercent(),
-			mergeNs:     float64(res.Stats.MergeTime),
-			pathNs:      float64(res.Stats.PathSchedulingTime),
-			violation:   !res.Deterministic(),
+		results[j] = GraphResult{
+			Nodes:       job.nodes,
+			Paths:       job.paths,
+			Index:       job.index,
+			IncreasePct: res.IncreasePercent(),
+			MergeNs:     float64(res.Stats.MergeTime),
+			PathSchedNs: float64(res.Stats.PathSchedulingTime),
+			Violation:   !res.Deterministic(),
 		}
 	}
 	finishOne := func(j int) {
@@ -204,23 +378,104 @@ func RunSweep(cfg SweepConfig) ([]Cell, error) {
 		finishOne(j)
 	})
 
-	// Aggregate in job order: float sums are order-sensitive, so this keeps
-	// the cells bit-identical regardless of which worker finished first.
+	for _, err := range errs {
+		if err != nil {
+			// A cancelled context usually fails many jobs at once; report
+			// the cancellation itself, not an arbitrary wrapped instance.
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return nil, ctxErr
+			}
+			return nil, err
+		}
+	}
+	return &ShardResult{ShardIndex: cfg.ShardIndex, ShardCount: cfg.ShardCount, Results: results}, nil
+}
+
+// RunSweep generates the graphs of the sweep, produces a schedule table for
+// every graph and aggregates the per-cell statistics. The graphs are
+// independent, so they are scheduled concurrently on cfg.Workers goroutines;
+// per-graph seeds are derived from cfg.Seed and the cell coordinates, and the
+// measurements are aggregated in cell order after all workers join, so the
+// returned cells (timing aside) are bit-identical for every worker count.
+//
+// RunSweep always executes the whole sweep: configs selecting a single shard
+// (ShardCount > 1) are rejected — run those through RunSweepShard and
+// recombine with MergeCells.
+func RunSweep(cfg SweepConfig) ([]Cell, error) {
+	cfg = cfg.Normalize()
+	if cfg.ShardCount > 1 {
+		return nil, fmt.Errorf("expr: RunSweep executes whole sweeps; use RunSweepShard for shard %d/%d and MergeCells to recombine",
+			cfg.ShardIndex, cfg.ShardCount)
+	}
+	shard, err := RunSweepShardContext(context.Background(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	return MergeCells(cfg, []*ShardResult{shard})
+}
+
+// MergeCells recombines the partial results of a sweep's shards into the
+// per-cell statistics a single-process RunSweep of the same config returns,
+// byte for byte: results are re-ordered into canonical job order before
+// aggregating, so the order-sensitive float sums match regardless of how the
+// sweep was partitioned. Coverage is strictly accounted: a result outside the
+// sweep, a graph covered twice and a graph covered by no shard are all
+// errors, so a coordinator detects gaps instead of publishing silently
+// truncated figures. The shard fields of cfg are ignored.
+func MergeCells(cfg SweepConfig, shards []*ShardResult) ([]Cell, error) {
+	cfg = cfg.Normalize()
+	if err := cfg.validateGrid(); err != nil {
+		return nil, err
+	}
+	jobs := cfg.allJobs()
+	slot := make(map[sweepJob]int, len(jobs))
+	for j, job := range jobs {
+		slot[job] = j
+	}
+	results := make([]*GraphResult, len(jobs))
+	for _, sh := range shards {
+		if sh == nil {
+			return nil, fmt.Errorf("expr: nil shard result")
+		}
+		for i := range sh.Results {
+			res := &sh.Results[i]
+			j, ok := slot[sweepJob{nodes: res.Nodes, paths: res.Paths, index: res.Index}]
+			if !ok {
+				return nil, fmt.Errorf("expr: shard %d/%d returned graph (%d nodes, %d paths, index %d) outside the sweep",
+					sh.ShardIndex, sh.ShardCount, res.Nodes, res.Paths, res.Index)
+			}
+			if results[j] != nil {
+				return nil, fmt.Errorf("expr: graph (%d nodes, %d paths, index %d) covered twice across shards",
+					res.Nodes, res.Paths, res.Index)
+			}
+			results[j] = res
+		}
+	}
+	missing := 0
+	for j := range results {
+		if results[j] == nil {
+			missing++
+		}
+	}
+	if missing > 0 {
+		return nil, fmt.Errorf("expr: %d of %d graphs not covered by any shard", missing, len(jobs))
+	}
+
+	// Aggregate in canonical job order: float sums are order-sensitive, so
+	// this keeps the cells bit-identical regardless of shard layout and of
+	// which worker finished first.
 	increase := stats.NewSeries()
 	mergeTime := stats.NewSeries()
 	pathTime := stats.NewSeries()
 	violations := map[string]int{}
 	counts := map[string]int{}
-	for j, res := range results {
-		if res.err != nil {
-			return nil, res.err
-		}
-		key := stats.Key(jobs[j].nodes, jobs[j].paths)
-		increase.Add(key, res.increasePct)
-		mergeTime.Add(key, res.mergeNs)
-		pathTime.Add(key, res.pathNs)
+	for _, res := range results {
+		key := stats.Key(res.Nodes, res.Paths)
+		increase.Add(key, res.IncreasePct)
+		mergeTime.Add(key, res.MergeNs)
+		pathTime.Add(key, res.PathSchedNs)
 		counts[key]++
-		if res.violation {
+		if res.Violation {
 			violations[key]++
 		}
 	}

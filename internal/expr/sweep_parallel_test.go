@@ -54,14 +54,7 @@ func TestRunSweepDeterministicAcrossWorkers(t *testing.T) {
 
 // zeroTimes strips the wall-clock measurements from the cells so renderings
 // can be compared across runs.
-func zeroTimes(cells []Cell) []Cell {
-	out := append([]Cell(nil), cells...)
-	for i := range out {
-		out[i].AvgMergeTime = 0
-		out[i].AvgPathSchedTime = 0
-	}
-	return out
-}
+func zeroTimes(cells []Cell) []Cell { return ZeroTimes(cells) }
 
 // TestRunSweepProgress checks that the progress callback sees every graph
 // exactly once and a monotonically increasing done count.

@@ -1,0 +1,390 @@
+// Package httpserver implements the HTTP surface of the scheduling service:
+// the handlers behind cmd/cpgserve. It lives as an importable package (rather
+// than inside the command) so tests, smoke harnesses and the distributed
+// sweep coordinator's test backends can mount the exact production handler
+// in-process via httptest.
+//
+// Endpoints:
+//
+//	POST /v1/schedule?workers=N   schedule a problem document, return the
+//	                              solution document (cache-aware); an optional
+//	                              &strategy= overrides the document's per-path
+//	                              scheduling strategy (critical-path, urgency,
+//	                              tabu, ...); unknown names get a 400 envelope
+//	POST /v1/simulate?cond=C=1    schedule, then re-enact the matching
+//	                              alternative paths against the table
+//	POST /v1/generate             generate a random problem document from
+//	                              the paper's structural parameters
+//	POST /v1/sweep?workers=N      execute one shard of a Fig. 5/6 sweep and
+//	                              return the raw per-graph results
+//	GET  /healthz                 liveness plus service counters
+//
+// Every error is reported as a JSON envelope {"error":{"status":...,
+// "message":...}}. The per-request ?workers= limit is clamped by the global
+// budget: concurrent requests share the budget's tokens in total.
+package httpserver
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"slices"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/service"
+	"repro/internal/sim"
+	"repro/internal/textio"
+)
+
+// Server holds the shared state of the HTTP handlers: one scheduling service
+// (global worker budget, solved-problem and sweep-shard memos) and one
+// generator cache.
+type Server struct {
+	svc      *service.Service
+	genCache *gen.Cache
+	maxBody  int64
+	start    time.Time
+}
+
+// New builds a Server around a fresh service. maxBody bounds the accepted
+// request body size in bytes.
+func New(cfg service.Config, maxBody int64) (*Server, error) {
+	svc, err := service.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		svc:      svc,
+		genCache: gen.NewCache(0),
+		maxBody:  maxBody,
+		start:    time.Now(),
+	}, nil
+}
+
+// Stats exposes the underlying service counters (for startup logging and
+// monitoring).
+func (s *Server) Stats() service.Stats { return s.svc.Stats() }
+
+// Routes builds the request multiplexer, optionally wrapped with request
+// logging.
+func (s *Server) Routes(logger *log.Logger) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/schedule", s.handleSchedule)
+	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	mux.HandleFunc("POST /v1/generate", s.handleGenerate)
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if logger == nil {
+		return mux
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t := time.Now()
+		mux.ServeHTTP(w, r)
+		logger.Printf("%s %s (%v)", r.Method, r.URL.Path, time.Since(t).Round(time.Microsecond))
+	})
+}
+
+// errorDoc is the JSON error envelope of every non-2xx response.
+type errorDoc struct {
+	Error struct {
+		Status  int    `json:"status"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+// requestErrorStatus distinguishes an over-limit body (413, the client can
+// shrink the document or the operator can raise -max-body) from a malformed
+// one (400).
+func requestErrorStatus(err error) int {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+// scheduleErrorStatus maps a failed service run to an HTTP status:
+// cancellations and deadlines become 408, everything else 500.
+func scheduleErrorStatus(err error) int {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusRequestTimeout
+	}
+	return http.StatusInternalServerError
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	var doc errorDoc
+	doc.Error.Status = status
+	doc.Error.Message = err.Error()
+	writeJSON(w, status, &doc)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// workersParam parses the optional ?workers= per-request limit.
+func workersParam(r *http.Request) (int, bool, error) {
+	q := r.URL.Query().Get("workers")
+	if q == "" {
+		return 0, false, nil
+	}
+	n, err := strconv.Atoi(q)
+	if err != nil || n < 0 {
+		return 0, false, fmt.Errorf("malformed workers parameter %q (want a non-negative integer)", q)
+	}
+	return n, true, nil
+}
+
+// readProblem parses the request body as a strict v1 problem document and
+// applies the optional ?workers= per-request limit.
+func (s *Server) readProblem(w http.ResponseWriter, r *http.Request) (*service.Problem, error) {
+	doc, err := textio.ReadProblem(http.MaxBytesReader(w, r.Body, s.maxBody))
+	if err != nil {
+		return nil, err
+	}
+	prob, err := service.FromDoc(doc)
+	if err != nil {
+		return nil, err
+	}
+	if n, ok, err := workersParam(r); err != nil {
+		return nil, err
+	} else if ok {
+		prob.Options.Workers = n
+	}
+	if q := r.URL.Query().Get("strategy"); q != "" {
+		name, err := textio.ParseStrategy(q)
+		if err != nil {
+			return nil, err
+		}
+		prob.Options.Strategy = name
+	}
+	return prob, nil
+}
+
+// schedule runs one problem through the service, translating context
+// cancellation and scheduling failures into HTTP errors.
+func (s *Server) schedule(w http.ResponseWriter, r *http.Request) (*service.Solution, bool) {
+	prob, err := s.readProblem(w, r)
+	if err != nil {
+		writeError(w, requestErrorStatus(err), err)
+		return nil, false
+	}
+	sol, err := s.svc.Schedule(r.Context(), prob)
+	if err != nil {
+		writeError(w, scheduleErrorStatus(err), err)
+		return nil, false
+	}
+	return sol, true
+}
+
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	sol, ok := s.schedule(w, r)
+	if !ok {
+		return
+	}
+	out := textio.EncodeSolution(sol.Result)
+	st := s.svc.Stats()
+	out.Cache = &textio.CacheDoc{
+		Hit:         sol.CacheHit,
+		Hits:        st.CacheHits,
+		Misses:      st.CacheMisses,
+		ProblemHash: sol.ProblemHash,
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleSweep executes one shard of a Fig. 5/6 sweep under the service's
+// global worker budget and returns the raw per-graph results, so a
+// coordinator can merge shards from many servers into the exact cells of a
+// single-process run.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	_, cfg, err := textio.ReadSweepRequest(http.MaxBytesReader(w, r.Body, s.maxBody))
+	if err != nil {
+		writeError(w, requestErrorStatus(err), err)
+		return
+	}
+	if n, ok, err := workersParam(r); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	} else if ok {
+		cfg.Workers = n
+	}
+	sol, err := s.svc.SweepShard(r.Context(), cfg)
+	if err != nil {
+		writeError(w, scheduleErrorStatus(err), err)
+		return
+	}
+	out := textio.EncodeSweepResponse(sol.SweepHash, sol.Shard)
+	st := s.svc.Stats()
+	out.Cache = &textio.CacheDoc{
+		Hit:         sol.CacheHit,
+		Hits:        st.SweepCacheHits,
+		Misses:      st.SweepCacheMisses,
+		ProblemHash: sol.SweepHash,
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// activationDoc is one activated activity of a simulated trace.
+type activationDoc struct {
+	Name  string `json:"name"`
+	Start int64  `json:"start"`
+	End   int64  `json:"end"`
+}
+
+// traceDoc is the re-enactment of one alternative path.
+type traceDoc struct {
+	Label       string          `json:"label"`
+	Delay       int64           `json:"delay"`
+	Violations  []string        `json:"violations,omitempty"`
+	Activations []activationDoc `json:"activations"`
+}
+
+// simulateDoc is the response of /v1/simulate.
+type simulateDoc struct {
+	Version  string     `json:"version"`
+	Name     string     `json:"name"`
+	DeltaM   int64      `json:"deltaM"`
+	DeltaMax int64      `json:"deltaMax"`
+	Traces   []traceDoc `json:"traces"`
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	sol, ok := s.schedule(w, r)
+	if !ok {
+		return
+	}
+	g, a := sol.Graph, sol.Arch
+	selected := sol.Subgraphs
+	if spec := r.URL.Query().Get("cond"); spec != "" {
+		label, err := textio.ParseConds(g, spec)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		selected = nil
+		for _, sub := range sol.Subgraphs {
+			if sub.Label.Implies(label) {
+				selected = append(selected, sub)
+			}
+		}
+		if len(selected) == 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("no alternative path matches %q", spec))
+			return
+		}
+	}
+	out := &simulateDoc{
+		Version:  textio.ProblemVersion,
+		Name:     g.Name(),
+		DeltaM:   sol.DeltaM,
+		DeltaMax: sol.DeltaMax,
+	}
+	for _, sub := range selected {
+		tr, err := sim.RunSubgraph(sub, a, sol.Table)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		td := traceDoc{Label: sub.Label.Format(g.CondName), Delay: tr.Delay}
+		for _, v := range tr.Violations {
+			td.Violations = append(td.Violations, v.String())
+		}
+		for k, start := range tr.Start {
+			name := k.String()
+			if k.IsCond {
+				name = "broadcast " + g.CondName(k.Cond)
+			} else if p := g.Process(k.Proc); p != nil {
+				name = p.Name
+			}
+			td.Activations = append(td.Activations, activationDoc{Name: name, Start: start, End: tr.End[k]})
+		}
+		sortActivations(td.Activations)
+		out.Traces = append(out.Traces, td)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func sortActivations(acts []activationDoc) {
+	slices.SortFunc(acts, func(a, b activationDoc) int {
+		if a.Start != b.Start {
+			if a.Start < b.Start {
+				return -1
+			}
+			return 1
+		}
+		switch {
+		case a.Name < b.Name:
+			return -1
+		case a.Name > b.Name:
+			return 1
+		}
+		return 0
+	})
+}
+
+func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
+	doc, err := textio.ReadGenDoc(http.MaxBytesReader(w, r.Body, s.maxBody))
+	if err != nil {
+		writeError(w, requestErrorStatus(err), err)
+		return
+	}
+	cfg, err := textio.DecodeGenConfig(doc)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	inst, err := s.genCache.Generate(cfg)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, textio.EncodeProblem(inst.Graph, inst.Arch, core.Options{}))
+}
+
+// healthDoc is the /healthz response.
+type healthDoc struct {
+	Status   string `json:"status"`
+	UptimeMs int64  `json:"uptimeMs"`
+	Requests int64  `json:"requests"`
+	Workers  int    `json:"workers"`
+	Cache    struct {
+		Hits    int64 `json:"hits"`
+		Misses  int64 `json:"misses"`
+		Entries int   `json:"entries"`
+	} `json:"cache"`
+	Sweeps struct {
+		Requests int64 `json:"requests"`
+		Hits     int64 `json:"hits"`
+		Misses   int64 `json:"misses"`
+		Entries  int   `json:"entries"`
+	} `json:"sweeps"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.svc.Stats()
+	doc := &healthDoc{
+		Status:   "ok",
+		UptimeMs: time.Since(s.start).Milliseconds(),
+		Requests: st.Requests,
+		Workers:  st.Workers,
+	}
+	doc.Cache.Hits = st.CacheHits
+	doc.Cache.Misses = st.CacheMisses
+	doc.Cache.Entries = st.CacheLen
+	doc.Sweeps.Requests = st.SweepRequests
+	doc.Sweeps.Hits = st.SweepCacheHits
+	doc.Sweeps.Misses = st.SweepCacheMisses
+	doc.Sweeps.Entries = st.SweepCacheLen
+	writeJSON(w, http.StatusOK, doc)
+}

@@ -1,4 +1,4 @@
-package main
+package httpserver
 
 import (
 	"bytes"
@@ -18,17 +18,17 @@ import (
 
 func testServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	srv, err := newServer(service.Config{Workers: 2}, 8<<20)
+	srv, err := New(service.Config{Workers: 2}, 8<<20)
 	if err != nil {
 		t.Fatalf("newServer: %v", err)
 	}
-	ts := httptest.NewServer(srv.routes(nil))
+	ts := httptest.NewServer(srv.Routes(nil))
 	t.Cleanup(ts.Close)
 	return ts
 }
 
 func TestNewServerNegativeBudget(t *testing.T) {
-	if _, err := newServer(service.Config{Workers: -4}, 8<<20); err == nil {
+	if _, err := New(service.Config{Workers: -4}, 8<<20); err == nil {
 		t.Fatalf("negative -workers budget must be rejected")
 	}
 }
@@ -312,11 +312,11 @@ func TestScheduleEndpointStrategyParam(t *testing.T) {
 }
 
 func TestOversizedBodyGets413(t *testing.T) {
-	srv, err := newServer(service.Config{Workers: 1}, 64)
+	srv, err := New(service.Config{Workers: 1}, 64)
 	if err != nil {
 		t.Fatalf("newServer: %v", err)
 	}
-	ts := httptest.NewServer(srv.routes(nil))
+	ts := httptest.NewServer(srv.Routes(nil))
 	t.Cleanup(ts.Close)
 	resp, body := postJSON(t, ts.URL+"/v1/schedule", figure1Doc(t))
 	if resp.StatusCode != http.StatusRequestEntityTooLarge {

@@ -1,0 +1,123 @@
+package httpserver
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"reflect"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/textio"
+)
+
+func sweepRequestBody(t *testing.T, cfg expr.SweepConfig) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := textio.WriteSweepRequest(&buf, textio.EncodeSweepRequest(cfg)); err != nil {
+		t.Fatalf("WriteSweepRequest: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestSweepEndpointMatchesInProcess pins the acceptance property of the
+// sweep endpoint: the shard served over HTTP carries exactly the per-graph
+// results of an in-process expr.RunSweepShard (wall-clock timing aside), and
+// a retried identical shard request is answered from the shard memo.
+func TestSweepEndpointMatchesInProcess(t *testing.T) {
+	ts := testServer(t)
+	cfg := expr.GoldenSweep()
+	cfg.ShardIndex, cfg.ShardCount = 1, 2
+	body := sweepRequestBody(t, cfg)
+
+	resp, out := postJSON(t, ts.URL+"/v1/sweep", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, out)
+	}
+	doc, got, err := textio.ReadSweepResponse(bytes.NewReader(out))
+	if err != nil {
+		t.Fatalf("ReadSweepResponse: %v", err)
+	}
+	want, err := expr.RunSweepShard(cfg)
+	if err != nil {
+		t.Fatalf("RunSweepShard: %v", err)
+	}
+	zero := func(sh *expr.ShardResult) *expr.ShardResult {
+		c := *sh
+		c.Results = append([]expr.GraphResult(nil), sh.Results...)
+		for i := range c.Results {
+			c.Results[i].MergeNs = 0
+			c.Results[i].PathSchedNs = 0
+		}
+		return &c
+	}
+	if !reflect.DeepEqual(zero(got), zero(want)) {
+		t.Fatalf("served shard differs from in-process shard:\n%+v\nvs\n%+v", got, want)
+	}
+	if doc.Cache == nil || doc.Cache.Hit {
+		t.Fatalf("first shard request must miss the memo: %+v", doc.Cache)
+	}
+
+	resp, out = postJSON(t, ts.URL+"/v1/sweep?workers=1", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("retry status %d: %s", resp.StatusCode, out)
+	}
+	again, _, err := textio.ReadSweepResponse(bytes.NewReader(out))
+	if err != nil {
+		t.Fatalf("ReadSweepResponse(retry): %v", err)
+	}
+	if again.Cache == nil || !again.Cache.Hit {
+		t.Fatalf("retried shard (even with another worker wish) must hit the memo: %+v", again.Cache)
+	}
+	if again.SweepHash != doc.SweepHash {
+		t.Fatalf("sweep hash changed between identical requests")
+	}
+}
+
+// TestSweepEndpointRejects covers the error envelope conventions of the
+// sweep endpoint.
+func TestSweepEndpointRejects(t *testing.T) {
+	ts := testServer(t)
+	for name, body := range map[string]string{
+		"not json":      "{",
+		"wrong version": `{"version":"v2","nodes":[40],"paths":[10],"graphsPerCell":1,"seed":1,"shardIndex":0,"shardCount":1}`,
+		"bad shard":     `{"version":"v1","nodes":[40],"paths":[10],"graphsPerCell":1,"seed":1,"shardIndex":9,"shardCount":2}`,
+		"unknown field": `{"version":"v1","bogus":1}`,
+	} {
+		resp, out := postJSON(t, ts.URL+"/v1/sweep", []byte(body))
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400: %s", name, resp.StatusCode, out)
+		}
+		if !bytes.Contains(out, []byte(`"error"`)) {
+			t.Fatalf("%s: missing error envelope: %s", name, out)
+		}
+	}
+	cfg := expr.GoldenSweep()
+	resp, out := postJSON(t, ts.URL+"/v1/sweep?workers=-2", sweepRequestBody(t, cfg))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative workers param must yield 400, got %d: %s", resp.StatusCode, out)
+	}
+}
+
+// TestHealthzSweepCounters checks that shard requests surface in the
+// /healthz sweep counters.
+func TestHealthzSweepCounters(t *testing.T) {
+	ts := testServer(t)
+	cfg := expr.GoldenSweep()
+	cfg.ShardCount = 2
+	if resp, out := postJSON(t, ts.URL+"/v1/sweep", sweepRequestBody(t, cfg)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep status %d: %s", resp.StatusCode, out)
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz: %v", err)
+	}
+	defer resp.Body.Close()
+	var doc healthDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if doc.Sweeps.Requests != 1 || doc.Sweeps.Misses != 1 {
+		t.Fatalf("sweep counters unexpected: %+v", doc.Sweeps)
+	}
+}

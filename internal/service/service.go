@@ -26,6 +26,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/core"
 	"repro/internal/cpg"
+	"repro/internal/expr"
 	"repro/internal/memo"
 	"repro/internal/textio"
 )
@@ -87,6 +88,12 @@ type Stats struct {
 	CacheMisses int64
 	// CacheLen is the current number of memoized solutions.
 	CacheLen int
+	// SweepRequests counts SweepShard calls, and the SweepCache fields are
+	// the shard-result memo counters.
+	SweepRequests    int64
+	SweepCacheHits   int64
+	SweepCacheMisses int64
+	SweepCacheLen    int
 	// Workers is the global worker budget.
 	Workers int
 }
@@ -94,10 +101,12 @@ type Stats struct {
 // Service generates schedule tables on behalf of concurrent callers. Create
 // one with New and share it; all methods are safe for concurrent use.
 type Service struct {
-	budget   int
-	tokens   chan struct{}
-	cache    *memo.LRU[*core.Result]
-	requests atomic.Int64
+	budget    int
+	tokens    chan struct{}
+	cache     *memo.LRU[*core.Result]
+	sweeps    *memo.LRU[*expr.ShardResult]
+	requests  atomic.Int64
+	sweepReqs atomic.Int64
 }
 
 // New returns a Service with the given budget and memo capacity. A negative
@@ -122,6 +131,7 @@ func New(cfg Config) (*Service, error) {
 		budget: budget,
 		tokens: make(chan struct{}, budget),
 		cache:  memo.NewLRU[*core.Result](size),
+		sweeps: memo.NewLRU[*expr.ShardResult](size),
 	}
 	for i := 0; i < budget; i++ {
 		s.tokens <- struct{}{}
@@ -132,11 +142,15 @@ func New(cfg Config) (*Service, error) {
 // Stats returns a snapshot of the service counters.
 func (s *Service) Stats() Stats {
 	return Stats{
-		Requests:    s.requests.Load(),
-		CacheHits:   s.cache.Hits(),
-		CacheMisses: s.cache.Misses(),
-		CacheLen:    s.cache.Len(),
-		Workers:     s.budget,
+		Requests:         s.requests.Load(),
+		CacheHits:        s.cache.Hits(),
+		CacheMisses:      s.cache.Misses(),
+		CacheLen:         s.cache.Len(),
+		SweepRequests:    s.sweepReqs.Load(),
+		SweepCacheHits:   s.sweeps.Hits(),
+		SweepCacheMisses: s.sweeps.Misses(),
+		SweepCacheLen:    s.sweeps.Len(),
+		Workers:          s.budget,
 	}
 }
 
@@ -256,6 +270,77 @@ func (s *Service) ScheduleBatch(ctx context.Context, problems []*Problem) ([]*So
 	}
 	wg.Wait()
 	return sols, errors.Join(errs...)
+}
+
+// SweepSolution is the outcome of one SweepShard request.
+type SweepSolution struct {
+	// Shard holds the raw per-graph results of the executed shard.
+	Shard *expr.ShardResult
+	// SweepHash is the content hash of the sweep the shard belongs to
+	// (textio.SweepHash: workers and shard coordinates excluded), so every
+	// shard of one sweep shares it. The memo key is (SweepHash, shard).
+	SweepHash string
+	// CacheHit reports whether the shard came from the memo instead of a
+	// fresh run.
+	CacheHit bool
+	// Workers is the number of worker tokens the request was granted
+	// (zero on cache hits).
+	Workers int
+}
+
+// SweepShard executes one shard of a Fig. 5/6 sweep under the service's
+// global worker budget: the config's Workers field is a wish clamped to the
+// budget, to the tokens free at admission and to the shard's graph count.
+// Identical shard requests (same sweep content hash and shard coordinates)
+// are answered from the shard memo, so a coordinator retrying a shard —
+// possibly with a different worker wish — reuses the completed work.
+// Cancelling ctx aborts the shard run promptly and returns ctx.Err().
+func (s *Service) SweepShard(ctx context.Context, cfg expr.SweepConfig) (*SweepSolution, error) {
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("%w; got %d", core.ErrNegativeWorkers, cfg.Workers)
+	}
+	cfg = cfg.Normalize()
+	if err := cfg.ValidateShard(); err != nil {
+		return nil, err
+	}
+	s.sweepReqs.Add(1)
+	hash, err := textio.SweepHash(textio.EncodeSweepRequest(cfg))
+	if err != nil {
+		return nil, err
+	}
+	key := fmt.Sprintf("%s:%d/%d", hash, cfg.ShardIndex, cfg.ShardCount)
+	// Like Schedule: a wall-clock tabu budget makes results timing-dependent,
+	// so budgeted runs stay out of the memo in both directions.
+	memoizable := cfg.Options.StrategyParams.Budget <= 0
+	if memoizable {
+		if sh, ok := s.sweeps.Get(key); ok {
+			return &SweepSolution{Shard: sh, SweepHash: hash, CacheHit: true}, nil
+		}
+	}
+	want := cfg.Workers
+	if want <= 0 || want > s.budget {
+		want = s.budget
+	}
+	// Tokens beyond the shard's graph count would sit idle while starving
+	// concurrent requests, so don't grab them in the first place (one token
+	// minimum: every admitted request holds at least one).
+	if lim := cfg.ShardSize(); want > lim {
+		want = max(lim, 1)
+	}
+	granted, err := s.acquire(ctx, want)
+	if err != nil {
+		return nil, err
+	}
+	defer s.releaseTokens(granted)
+	cfg.Workers = granted
+	sh, err := expr.RunSweepShardContext(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if memoizable {
+		s.sweeps.Add(key, sh)
+	}
+	return &SweepSolution{Shard: sh, SweepHash: hash, Workers: granted}, nil
 }
 
 // maxUsefulWorkers bounds the parallelism a problem can exploit: the path

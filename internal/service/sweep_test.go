@@ -1,0 +1,160 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/expr"
+)
+
+func sweepConfig() expr.SweepConfig {
+	cfg := expr.GoldenSweep()
+	cfg.ShardIndex, cfg.ShardCount = 0, 2
+	return cfg
+}
+
+// TestSweepShardMatchesInProcess pins the service path against the direct
+// expr run: the budgeted, memoized service execution returns the exact
+// per-graph results of expr.RunSweepShard.
+func TestSweepShardMatchesInProcess(t *testing.T) {
+	svc := mustNew(t, Config{Workers: 2})
+	cfg := sweepConfig()
+	sol, err := svc.SweepShard(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("SweepShard: %v", err)
+	}
+	want, err := expr.RunSweepShard(cfg)
+	if err != nil {
+		t.Fatalf("RunSweepShard: %v", err)
+	}
+	if !reflect.DeepEqual(zeroShardTimes(sol.Shard), zeroShardTimes(want)) {
+		t.Fatalf("service shard differs from in-process shard:\n%+v\nvs\n%+v", sol.Shard, want)
+	}
+	if sol.CacheHit {
+		t.Fatalf("first shard request must miss the memo")
+	}
+	if sol.Workers < 1 || sol.Workers > 2 {
+		t.Fatalf("granted workers %d outside budget", sol.Workers)
+	}
+}
+
+func zeroShardTimes(sh *expr.ShardResult) *expr.ShardResult {
+	out := *sh
+	out.Results = append([]expr.GraphResult(nil), sh.Results...)
+	for i := range out.Results {
+		out.Results[i].MergeNs = 0
+		out.Results[i].PathSchedNs = 0
+	}
+	return &out
+}
+
+// TestSweepShardMemo checks the shard memo: an identical shard request —
+// even with a different worker wish — is a cache hit, while another shard of
+// the same sweep is its own entry under the shared sweep hash.
+func TestSweepShardMemo(t *testing.T) {
+	svc := mustNew(t, Config{Workers: 2})
+	cfg := sweepConfig()
+	first, err := svc.SweepShard(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("SweepShard: %v", err)
+	}
+	retry := cfg
+	retry.Workers = 1
+	second, err := svc.SweepShard(context.Background(), retry)
+	if err != nil {
+		t.Fatalf("SweepShard(retry): %v", err)
+	}
+	if !second.CacheHit || second.Shard != first.Shard {
+		t.Fatalf("retried shard must be served from the memo")
+	}
+	other := cfg
+	other.ShardIndex = 1
+	third, err := svc.SweepShard(context.Background(), other)
+	if err != nil {
+		t.Fatalf("SweepShard(other shard): %v", err)
+	}
+	if third.CacheHit {
+		t.Fatalf("a different shard must be a fresh memo miss")
+	}
+	if third.SweepHash != first.SweepHash {
+		t.Fatalf("shards of one sweep must share the sweep hash: %q vs %q", third.SweepHash, first.SweepHash)
+	}
+	st := svc.Stats()
+	if st.SweepRequests != 3 || st.SweepCacheHits != 1 || st.SweepCacheMisses != 2 {
+		t.Fatalf("sweep counters unexpected: %+v", st)
+	}
+}
+
+// TestSweepShardValidation covers the request validation: negative workers
+// and out-of-range shard coordinates are rejected before any work.
+func TestSweepShardValidation(t *testing.T) {
+	svc := mustNew(t, Config{})
+	cfg := sweepConfig()
+	cfg.Workers = -1
+	if _, err := svc.SweepShard(context.Background(), cfg); !errors.Is(err, core.ErrNegativeWorkers) {
+		t.Fatalf("negative workers must be rejected with ErrNegativeWorkers; got %v", err)
+	}
+	cfg = sweepConfig()
+	cfg.ShardIndex = 5
+	if _, err := svc.SweepShard(context.Background(), cfg); err == nil {
+		t.Fatalf("out-of-range shard index must be rejected")
+	}
+}
+
+// TestSweepShardCancelled checks that a cancelled context aborts the shard
+// request with ctx.Err().
+func TestSweepShardCancelled(t *testing.T) {
+	svc := mustNew(t, Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := svc.SweepShard(ctx, sweepConfig()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled context must abort; got %v", err)
+	}
+}
+
+// TestSweepShardConcurrent fans every shard of a sweep concurrently through
+// one service: the shared worker budget admits them all and the merged cells
+// equal the single-process run (exercised under -race by CI).
+func TestSweepShardConcurrent(t *testing.T) {
+	svc := mustNew(t, Config{Workers: 2})
+	cfg := expr.GoldenSweep()
+	const count = 3
+	shards := make([]*expr.ShardResult, count)
+	errs := make([]error, count)
+	var wg sync.WaitGroup
+	for i := 0; i < count; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := cfg
+			c.ShardIndex, c.ShardCount = i, count
+			sol, err := svc.SweepShard(context.Background(), c)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			shards[i] = sol.Shard
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+	}
+	cells, err := expr.MergeCells(cfg, shards)
+	if err != nil {
+		t.Fatalf("MergeCells: %v", err)
+	}
+	want, err := expr.RunSweep(cfg)
+	if err != nil {
+		t.Fatalf("RunSweep: %v", err)
+	}
+	if !reflect.DeepEqual(expr.ZeroTimes(cells), expr.ZeroTimes(want)) {
+		t.Fatalf("concurrently sharded cells differ from single-process run")
+	}
+}

@@ -11,6 +11,46 @@ import (
 // must never panic, and any input that survives ReadProblem+DecodeProblem
 // must re-encode to a document that decodes to the same model (idempotent
 // round-trip). Run with `go test -fuzz FuzzReadProblem ./internal/textio`.
+// FuzzReadSweepRequest throws arbitrary bytes at the strict sweep-request
+// reader: parsing must never panic, and any input that survives must decode
+// to a config whose re-encoding is accepted and idempotent — the property the
+// distributed sweep's coordinator/worker agreement rests on. Run with
+// `go test -fuzz FuzzReadSweepRequest ./internal/textio`.
+func FuzzReadSweepRequest(f *testing.F) {
+	f.Add([]byte(`{"version":"v1","nodes":[40,60],"paths":[10,12],"graphsPerCell":2,"seed":1998,"shardIndex":1,"shardCount":3}`))
+	f.Add([]byte(`{"version":"v1","nodes":[40],"paths":[10],"graphsPerCell":1,"seed":0,"shardIndex":0,"shardCount":1,"workers":4,"options":{"strategy":"tabu"}}`))
+	f.Add([]byte(`{"version":"v2"}`))
+	f.Add([]byte(`{"version":"v1","shardIndex":-1}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`[]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, cfg, err := ReadSweepRequest(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		doc2 := EncodeSweepRequest(cfg)
+		cfg2, err := DecodeSweepRequest(doc2)
+		if err != nil {
+			t.Fatalf("re-encoded document rejected: %v", err)
+		}
+		doc3 := EncodeSweepRequest(cfg2)
+		if !reflect.DeepEqual(doc2, doc3) {
+			t.Fatalf("encode/decode not idempotent:\n%+v\nvs\n%+v", doc2, doc3)
+		}
+		h2, err := SweepHash(doc2)
+		if err != nil {
+			t.Fatalf("SweepHash(doc2): %v", err)
+		}
+		h3, err := SweepHash(doc3)
+		if err != nil {
+			t.Fatalf("SweepHash(doc3): %v", err)
+		}
+		if h2 != h3 {
+			t.Fatalf("sweep hash not stable across round-trips")
+		}
+	})
+}
+
 func FuzzReadProblem(f *testing.F) {
 	if golden, err := os.ReadFile("../../testdata/figure1_v1.json"); err == nil {
 		f.Add(golden)

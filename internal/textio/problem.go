@@ -255,9 +255,7 @@ func DecodeProblem(d *ProblemDoc) (*cpg.Graph, *arch.Architecture, core.Options,
 
 // WriteProblem writes a problem document as indented JSON.
 func WriteProblem(w io.Writer, d *ProblemDoc) error {
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(d)
+	return writeIndented(w, d)
 }
 
 // ReadProblem parses a v1 problem document, rejecting unknown fields,
@@ -266,12 +264,7 @@ func WriteProblem(w io.Writer, d *ProblemDoc) error {
 // validation and model rebuild.
 func ReadProblem(r io.Reader) (*ProblemDoc, error) {
 	var d ProblemDoc
-	dec := json.NewDecoder(r)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&d); err != nil {
-		return nil, fmt.Errorf("textio: %w", err)
-	}
-	if err := requireEOF(dec); err != nil {
+	if err := readStrict(r, &d); err != nil {
 		return nil, err
 	}
 	if d.Version != ProblemVersion {
@@ -287,6 +280,25 @@ func requireEOF(dec *json.Decoder) error {
 		return fmt.Errorf("textio: trailing data after document")
 	}
 	return nil
+}
+
+// readStrict decodes one JSON document into v, rejecting unknown fields and
+// trailing data — the decoding discipline shared by every versioned reader.
+func readStrict(r io.Reader, v any) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("textio: %w", err)
+	}
+	return requireEOF(dec)
+}
+
+// writeIndented writes v as indented JSON, the rendering shared by every
+// document writer.
+func writeIndented(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
 }
 
 // ReadProblemOrLegacy parses either a v1 problem document or — as a
@@ -310,12 +322,7 @@ func ReadProblemOrLegacy(r io.Reader) (*ProblemDoc, bool, error) {
 		return d, false, err
 	}
 	var legacy Document
-	dec := json.NewDecoder(bytes.NewReader(data))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&legacy); err != nil {
-		return nil, false, fmt.Errorf("textio: %w", err)
-	}
-	if err := requireEOF(dec); err != nil {
+	if err := readStrict(bytes.NewReader(data), &legacy); err != nil {
 		return nil, false, err
 	}
 	return &ProblemDoc{
@@ -440,9 +447,7 @@ func EncodeSolution(res *core.Result) *SolutionDoc {
 
 // WriteSolution writes a solution document as indented JSON.
 func WriteSolution(w io.Writer, d *SolutionDoc) error {
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(d)
+	return writeIndented(w, d)
 }
 
 // GenDoc is the JSON request of the problem generator endpoint: the
@@ -462,12 +467,7 @@ type GenDoc struct {
 // trailing data.
 func ReadGenDoc(r io.Reader) (*GenDoc, error) {
 	var d GenDoc
-	dec := json.NewDecoder(r)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&d); err != nil {
-		return nil, fmt.Errorf("textio: %w", err)
-	}
-	if err := requireEOF(dec); err != nil {
+	if err := readStrict(r, &d); err != nil {
 		return nil, err
 	}
 	return &d, nil

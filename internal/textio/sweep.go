@@ -1,0 +1,272 @@
+package textio
+
+// This file defines the versioned v1 sweep shard documents: the wire format
+// of the distributed Fig. 5 / Fig. 6 experiment. A SweepRequestDoc asks a
+// server for one shard of a sweep; a SweepResponseDoc carries the shard's raw
+// per-graph measurements back so the coordinator can merge them into the
+// exact cells of a single-process run. Like the problem documents, decoding
+// is strict (unknown fields, unsupported versions, out-of-range shard
+// coordinates and malformed parameters are rejected) and the encoding is
+// lossless: the wire always carries the fully normalized configuration, so a
+// coordinator and its workers can never disagree about defaults.
+
+import (
+	"fmt"
+	"io"
+	"slices"
+
+	"repro/internal/expr"
+	"repro/internal/memo"
+)
+
+// SweepRequestDoc is the versioned request for one shard of a sweep. Seed is
+// the literal sweep seed (the coordinator resolves the "unset" default before
+// encoding, and a wire seed of 0 means exactly zero — see expr.ZeroSeed).
+type SweepRequestDoc struct {
+	Version       string `json:"version"`
+	Nodes         []int  `json:"nodes"`
+	Paths         []int  `json:"paths"`
+	GraphsPerCell int    `json:"graphsPerCell"`
+	Seed          int64  `json:"seed"`
+	ShardIndex    int    `json:"shardIndex"`
+	ShardCount    int    `json:"shardCount"`
+	// Workers is the wished-for shard parallelism; it is advisory under a
+	// service (the global worker budget overrides it) and excluded from
+	// the content hash.
+	Workers int         `json:"workers,omitempty"`
+	Options *OptionsDoc `json:"options,omitempty"`
+}
+
+// EncodeSweepRequest renders a sweep configuration in document form. The
+// config is normalized first, so the document always spells out the concrete
+// nodes, paths, graph count and seed (the ZeroSeed sentinel encodes as the
+// literal 0) — re-encoding a decoded request reproduces it byte for byte.
+func EncodeSweepRequest(cfg expr.SweepConfig) *SweepRequestDoc {
+	cfg = cfg.Normalize()
+	seed := cfg.Seed
+	if seed == expr.ZeroSeed {
+		seed = 0
+	}
+	return &SweepRequestDoc{
+		Version:       ProblemVersion,
+		Nodes:         slices.Clone(cfg.Nodes),
+		Paths:         slices.Clone(cfg.Paths),
+		GraphsPerCell: cfg.GraphsPerCell,
+		Seed:          seed,
+		ShardIndex:    cfg.ShardIndex,
+		ShardCount:    cfg.ShardCount,
+		Workers:       cfg.Workers,
+		Options:       EncodeOptions(cfg.Options),
+	}
+}
+
+// DecodeSweepRequest validates a sweep request document and converts it into
+// an expr.SweepConfig. A wire seed of 0 decodes to the expr.ZeroSeed sentinel
+// so a later Normalize cannot silently substitute the default seed — the
+// document is authoritative.
+func DecodeSweepRequest(d *SweepRequestDoc) (expr.SweepConfig, error) {
+	var cfg expr.SweepConfig
+	if d.Version != ProblemVersion {
+		return cfg, fmt.Errorf("textio: unsupported sweep version %q (this build understands %q)", d.Version, ProblemVersion)
+	}
+	if len(d.Nodes) == 0 || len(d.Paths) == 0 {
+		return cfg, fmt.Errorf("textio: sweep request must list nodes and paths explicitly")
+	}
+	seenN := map[int]bool{}
+	for _, n := range d.Nodes {
+		if n <= 0 {
+			return cfg, fmt.Errorf("textio: sweep nodes must be > 0; got %d", n)
+		}
+		if seenN[n] {
+			return cfg, fmt.Errorf("textio: duplicate sweep nodes value %d", n)
+		}
+		seenN[n] = true
+	}
+	seenP := map[int]bool{}
+	for _, p := range d.Paths {
+		if p <= 0 {
+			return cfg, fmt.Errorf("textio: sweep paths must be > 0; got %d", p)
+		}
+		if seenP[p] {
+			return cfg, fmt.Errorf("textio: duplicate sweep paths value %d", p)
+		}
+		seenP[p] = true
+	}
+	if d.GraphsPerCell <= 0 {
+		return cfg, fmt.Errorf("textio: sweep graphsPerCell must be > 0; got %d", d.GraphsPerCell)
+	}
+	if d.ShardCount < 1 {
+		return cfg, fmt.Errorf("textio: sweep shardCount must be >= 1; got %d", d.ShardCount)
+	}
+	if d.ShardIndex < 0 || d.ShardIndex >= d.ShardCount {
+		return cfg, fmt.Errorf("textio: sweep shardIndex %d out of range [0, %d)", d.ShardIndex, d.ShardCount)
+	}
+	if d.Workers < 0 {
+		return cfg, fmt.Errorf("textio: sweep workers must be >= 0 (0 = all CPUs); got %d", d.Workers)
+	}
+	opts, err := DecodeOptions(d.Options)
+	if err != nil {
+		return cfg, err
+	}
+	// The sentinel value itself is reserved: accepting it would silently
+	// alias the request to the seed-0 sweep.
+	if d.Seed == expr.ZeroSeed {
+		return cfg, fmt.Errorf("textio: sweep seed %d is reserved (use 0 for the literal zero seed)", d.Seed)
+	}
+	seed := d.Seed
+	if seed == 0 {
+		seed = expr.ZeroSeed
+	}
+	cfg = expr.SweepConfig{
+		Nodes:         slices.Clone(d.Nodes),
+		Paths:         slices.Clone(d.Paths),
+		GraphsPerCell: d.GraphsPerCell,
+		Seed:          seed,
+		Workers:       d.Workers,
+		Options:       opts,
+		ShardIndex:    d.ShardIndex,
+		ShardCount:    d.ShardCount,
+	}
+	return cfg, nil
+}
+
+// ReadSweepRequest parses a v1 sweep request, rejecting unknown fields,
+// unsupported versions, out-of-range shard coordinates, malformed parameters
+// and trailing data. It returns both the document and its decoded
+// configuration (validation is the decode), so callers never parse twice.
+func ReadSweepRequest(r io.Reader) (*SweepRequestDoc, expr.SweepConfig, error) {
+	var d SweepRequestDoc
+	if err := readStrict(r, &d); err != nil {
+		return nil, expr.SweepConfig{}, err
+	}
+	cfg, err := DecodeSweepRequest(&d)
+	if err != nil {
+		return nil, cfg, err
+	}
+	return &d, cfg, nil
+}
+
+// WriteSweepRequest writes a sweep request as indented JSON.
+func WriteSweepRequest(w io.Writer, d *SweepRequestDoc) error {
+	return writeIndented(w, d)
+}
+
+// SweepHash returns the content hash identifying the sweep a request belongs
+// to: the sha256 of the canonical JSON encoding with the execution knobs —
+// Workers, options.workers and the shard coordinates — cleared, because none
+// of them change the per-graph results. Every shard of one sweep therefore
+// shares one hash, and a service memo can key cached shard work by
+// (SweepHash, shard) so a retried shard is reused across worker counts.
+func SweepHash(d *SweepRequestDoc) (string, error) {
+	c := *d
+	c.Workers = 0
+	c.ShardIndex = 0
+	c.ShardCount = 0
+	if c.Options != nil {
+		o := *c.Options
+		o.Workers = 0
+		c.Options = &o
+	}
+	return memo.HashJSON(&c)
+}
+
+// SweepGraphDoc is the raw measurement of one scheduled graph of a shard.
+// The float fields round-trip exactly through JSON (shortest-representation
+// encoding), which is what lets a coordinator reproduce the single-process
+// aggregation bit for bit.
+type SweepGraphDoc struct {
+	Nodes       int     `json:"nodes"`
+	Paths       int     `json:"paths"`
+	Index       int     `json:"index"`
+	IncreasePct float64 `json:"increasePct"`
+	MergeNs     float64 `json:"mergeNs"`
+	PathSchedNs float64 `json:"pathSchedNs"`
+	Violation   bool    `json:"violation,omitempty"`
+}
+
+// SweepResponseDoc is the versioned result of one executed shard: the shard
+// coordinates it covered (the coordinator's coverage accounting) and the raw
+// per-graph results.
+type SweepResponseDoc struct {
+	Version    string          `json:"version"`
+	SweepHash  string          `json:"sweepHash,omitempty"`
+	ShardIndex int             `json:"shardIndex"`
+	ShardCount int             `json:"shardCount"`
+	Graphs     []SweepGraphDoc `json:"graphs"`
+	Cache      *CacheDoc       `json:"cache,omitempty"`
+}
+
+// EncodeSweepResponse converts a shard result into its v1 document form.
+func EncodeSweepResponse(hash string, sh *expr.ShardResult) *SweepResponseDoc {
+	d := &SweepResponseDoc{
+		Version:    ProblemVersion,
+		SweepHash:  hash,
+		ShardIndex: sh.ShardIndex,
+		ShardCount: sh.ShardCount,
+		Graphs:     make([]SweepGraphDoc, 0, len(sh.Results)),
+	}
+	for _, g := range sh.Results {
+		d.Graphs = append(d.Graphs, SweepGraphDoc{
+			Nodes:       g.Nodes,
+			Paths:       g.Paths,
+			Index:       g.Index,
+			IncreasePct: g.IncreasePct,
+			MergeNs:     g.MergeNs,
+			PathSchedNs: g.PathSchedNs,
+			Violation:   g.Violation,
+		})
+	}
+	return d
+}
+
+// DecodeSweepResponse validates a sweep response document and rebuilds the
+// shard result.
+func DecodeSweepResponse(d *SweepResponseDoc) (*expr.ShardResult, error) {
+	if d.Version != ProblemVersion {
+		return nil, fmt.Errorf("textio: unsupported sweep version %q (this build understands %q)", d.Version, ProblemVersion)
+	}
+	if d.ShardCount < 1 {
+		return nil, fmt.Errorf("textio: sweep response shardCount must be >= 1; got %d", d.ShardCount)
+	}
+	if d.ShardIndex < 0 || d.ShardIndex >= d.ShardCount {
+		return nil, fmt.Errorf("textio: sweep response shardIndex %d out of range [0, %d)", d.ShardIndex, d.ShardCount)
+	}
+	sh := &expr.ShardResult{
+		ShardIndex: d.ShardIndex,
+		ShardCount: d.ShardCount,
+		Results:    make([]expr.GraphResult, 0, len(d.Graphs)),
+	}
+	for _, g := range d.Graphs {
+		sh.Results = append(sh.Results, expr.GraphResult{
+			Nodes:       g.Nodes,
+			Paths:       g.Paths,
+			Index:       g.Index,
+			IncreasePct: g.IncreasePct,
+			MergeNs:     g.MergeNs,
+			PathSchedNs: g.PathSchedNs,
+			Violation:   g.Violation,
+		})
+	}
+	return sh, nil
+}
+
+// ReadSweepResponse parses a v1 sweep response, rejecting unknown fields,
+// unsupported versions, out-of-range shard coordinates and trailing data. It
+// returns both the document and the decoded shard result (validation is the
+// decode), so callers never parse twice.
+func ReadSweepResponse(r io.Reader) (*SweepResponseDoc, *expr.ShardResult, error) {
+	var d SweepResponseDoc
+	if err := readStrict(r, &d); err != nil {
+		return nil, nil, err
+	}
+	sh, err := DecodeSweepResponse(&d)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &d, sh, nil
+}
+
+// WriteSweepResponse writes a sweep response as indented JSON.
+func WriteSweepResponse(w io.Writer, d *SweepResponseDoc) error {
+	return writeIndented(w, d)
+}

@@ -2,7 +2,6 @@ package textio
 
 import (
 	"encoding/csv"
-	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -66,9 +65,7 @@ func EncodeTable(g *cpg.Graph, tbl *table.Table) *TableDoc {
 
 // WriteTableJSON writes the schedule table as indented JSON.
 func WriteTableJSON(w io.Writer, g *cpg.Graph, tbl *table.Table) error {
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(EncodeTable(g, tbl))
+	return writeIndented(w, EncodeTable(g, tbl))
 }
 
 // WriteTableCSV writes the schedule table in the layout of Table 1 of the
@@ -108,10 +105,8 @@ func WriteTableCSV(w io.Writer, g *cpg.Graph, tbl *table.Table) error {
 // names must match).
 func ReadTableJSON(r io.Reader, g *cpg.Graph) (*table.Table, error) {
 	var doc TableDoc
-	dec := json.NewDecoder(r)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&doc); err != nil {
-		return nil, fmt.Errorf("textio: %w", err)
+	if err := readStrict(r, &doc); err != nil {
+		return nil, err
 	}
 	// Look-up tables for names.
 	conds := map[string]cond.Cond{}

@@ -4,7 +4,6 @@
 package textio
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -197,18 +196,16 @@ func Decode(doc *Document) (*cpg.Graph, *arch.Architecture, error) {
 
 // Write serializes the problem as indented JSON.
 func Write(w io.Writer, g *cpg.Graph, a *arch.Architecture) error {
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(Encode(g, a))
+	return writeIndented(w, Encode(g, a))
 }
 
 // Read parses a problem document and rebuilds the graph and architecture.
+// Like every reader of this package it is strict: unknown fields and
+// trailing data after the document are rejected.
 func Read(r io.Reader) (*cpg.Graph, *arch.Architecture, error) {
 	var doc Document
-	dec := json.NewDecoder(r)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&doc); err != nil {
-		return nil, nil, fmt.Errorf("textio: %w", err)
+	if err := readStrict(r, &doc); err != nil {
+		return nil, nil, err
 	}
 	return Decode(&doc)
 }

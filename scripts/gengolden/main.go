@@ -1,6 +1,13 @@
-// Command gengolden regenerates testdata/figure1_v1.json, the v1 problem
-// document of the paper's worked example used by the codec golden tests and
-// the cpgserve smoke test. Run from the repository root:
+// Command gengolden regenerates the golden test fixtures:
+//
+//   - testdata/figure1_v1.json — the v1 problem document of the paper's
+//     worked example, used by the codec golden tests and the cpgserve smoke
+//     test;
+//   - testdata/sweep_golden.csv — the CSV of the small fixed-seed sweep
+//     (expr.GoldenSweep, wall-clock columns zeroed), pinning the
+//     distributed-sweep byte-identity tests and the sweep smoke script.
+//
+// Run from the repository root:
 //
 //	go run ./scripts/gengolden
 package main
@@ -14,6 +21,11 @@ import (
 )
 
 func main() {
+	writeFigure1()
+	writeSweepGolden()
+}
+
+func writeFigure1() {
 	g, a, err := expr.Figure1()
 	if err != nil {
 		panic(err)
@@ -24,6 +36,21 @@ func main() {
 	}
 	defer f.Close()
 	if err := textio.WriteProblem(f, textio.EncodeProblem(g, a, core.Options{})); err != nil {
+		panic(err)
+	}
+}
+
+func writeSweepGolden() {
+	cells, err := expr.RunSweep(expr.GoldenSweep())
+	if err != nil {
+		panic(err)
+	}
+	f, err := os.Create("testdata/sweep_golden.csv")
+	if err != nil {
+		panic(err)
+	}
+	defer f.Close()
+	if err := expr.WriteSweepCSV(f, expr.ZeroTimes(cells)); err != nil {
 		panic(err)
 	}
 }

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Smoke-test the distributed sweep end to end: build cpgserve and cpgexper,
+# start TWO local cpgserve instances, run the golden mini-sweep (1) in a
+# single process and (2) sharded 3 ways across both servers, and require the
+# two CSVs to be byte-identical — and identical to testdata/sweep_golden.csv.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR_A="127.0.0.1:${CPGSWEEP_PORT_A:-8378}"
+ADDR_B="127.0.0.1:${CPGSWEEP_PORT_B:-8379}"
+BIN="$(mktemp -d)"
+go build -o "$BIN/cpgserve" ./cmd/cpgserve
+go build -o "$BIN/cpgexper" ./cmd/cpgexper
+
+"$BIN/cpgserve" -addr "$ADDR_A" -workers 2 &
+PID_A=$!
+"$BIN/cpgserve" -addr "$ADDR_B" -workers 2 &
+PID_B=$!
+trap 'kill "$PID_A" "$PID_B" 2>/dev/null || true' EXIT
+
+for ADDR in "$ADDR_A" "$ADDR_B"; do
+  for _ in $(seq 1 50); do
+    if curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; then
+      break
+    fi
+    sleep 0.1
+  done
+  curl -fsS "http://$ADDR/healthz" | grep -q '"status": "ok"'
+done
+
+OUT="$(mktemp -d)"
+SWEEP_FLAGS=(-exp sweep -nodes 60,80 -paths 10,12 -graphs 3 -seed 7 -zero-times -progress=false)
+
+"$BIN/cpgexper" "${SWEEP_FLAGS[@]}" > "$OUT/single.csv"
+"$BIN/cpgexper" "${SWEEP_FLAGS[@]}" -shards 3 \
+  -remote "http://$ADDR_A,http://$ADDR_B" > "$OUT/sharded.csv"
+
+diff -u "$OUT/single.csv" "$OUT/sharded.csv" || {
+  echo "sweep smoke FAILED: sharded CSV differs from single-process CSV" >&2
+  exit 1
+}
+diff -u testdata/sweep_golden.csv "$OUT/sharded.csv" || {
+  echo "sweep smoke FAILED: sharded CSV differs from testdata/sweep_golden.csv" >&2
+  exit 1
+}
+echo "sweep smoke OK: 3-shard, 2-server sweep CSV is byte-identical to the single-process run and the golden file"
