@@ -1,0 +1,64 @@
+// Command cpglint runs the project's static-analysis suite: the four
+// invariant analyzers from internal/lint (detmap, strictdecode, ctxthread,
+// nowallclock) plus the sortslice port and the bundled standard passes
+// (atomic, copylocks, loopclosure, lostcancel).
+//
+// Usage:
+//
+//	go run ./cmd/cpglint ./...
+//
+// The binary speaks the go vet -vettool protocol: invoked with package
+// patterns it re-executes itself through `go vet -vettool=<self>`, which
+// handles package loading, export data and facts; invoked by go vet with a
+// unit .cfg file (or the -V version probe) it acts as a unitchecker.
+// Analyzer flags pass through, e.g.:
+//
+//	go run ./cmd/cpglint -nowallclock.pkgs=cond,gen ./internal/...
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	args := os.Args[1:]
+	if invokedByGoVet(args) {
+		unitchecker.Main(lint.Analyzers()...) // does not return
+	}
+
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cpglint: locating own binary: %v\n", err)
+		os.Exit(2)
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, args...)...)
+	cmd.Stdin = os.Stdin
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		fmt.Fprintf(os.Stderr, "cpglint: running go vet: %v\n", err)
+		os.Exit(2)
+	}
+}
+
+// invokedByGoVet detects the two shapes of the vettool protocol: the version
+// probe (`cpglint -V=full`) and the per-package unit invocation, whose last
+// argument is a JSON .cfg file describing the compilation unit.
+func invokedByGoVet(args []string) bool {
+	for _, a := range args {
+		if a == "-V" || strings.HasPrefix(a, "-V=") || a == "-flags" {
+			return true
+		}
+	}
+	return len(args) > 0 && strings.HasSuffix(args[len(args)-1], ".cfg")
+}

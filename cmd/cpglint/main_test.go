@@ -1,0 +1,146 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCpglintSmoke builds the real binary and runs it against a throwaway
+// module seeded with one violation per custom analyzer, asserting both the
+// failing exit status and each analyzer's diagnostic text. This exercises the
+// full go vet -vettool round trip that CI uses, not just the Run functions.
+func TestCpglintSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and type-checks a module; skipped in -short")
+	}
+	tmp := t.TempDir()
+
+	bin := filepath.Join(tmp, "cpglint")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building cpglint: %v\n%s", err, out)
+	}
+
+	fixture := filepath.Join(tmp, "fixture")
+	writeFixtureModule(t, fixture)
+
+	run := exec.Command(bin, "./...")
+	run.Dir = fixture
+	out, err := run.CombinedOutput()
+	if err == nil {
+		t.Fatalf("cpglint passed on a module with seeded violations:\n%s", out)
+	}
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() == 0 {
+		t.Fatalf("cpglint did not exit nonzero: %v\n%s", err, out)
+	}
+	text := string(out)
+	for _, want := range []string{
+		"iteration order is random", "(detmap)",
+		"bypasses readStrict", "(strictdecode)",
+		"spawns goroutines but takes no context.Context", "(ctxthread)",
+		"time.Now in the deterministic core", "(nowallclock)",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("cpglint output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestCpglintCleanFixture pins the other direction: a module using the
+// blessed idioms exits zero.
+func TestCpglintCleanFixture(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and type-checks a module; skipped in -short")
+	}
+	tmp := t.TempDir()
+
+	bin := filepath.Join(tmp, "cpglint")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building cpglint: %v\n%s", err, out)
+	}
+
+	fixture := filepath.Join(tmp, "fixture")
+	writeFile(t, filepath.Join(fixture, "go.mod"), "module fixture\n\ngo 1.24\n")
+	writeFile(t, filepath.Join(fixture, "cond", "cond.go"), `package cond
+
+import "sort"
+
+func Keys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+`)
+
+	run := exec.Command(bin, "./...")
+	run.Dir = fixture
+	if out, err := run.CombinedOutput(); err != nil {
+		t.Fatalf("cpglint failed on a clean module: %v\n%s", err, out)
+	}
+}
+
+// writeFixtureModule seeds one violation per custom analyzer, each in a
+// package inside that analyzer's default scope.
+func writeFixtureModule(t *testing.T, dir string) {
+	t.Helper()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module fixture\n\ngo 1.24\n")
+	writeFile(t, filepath.Join(dir, "cond", "cond.go"), `package cond
+
+func Keys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+`)
+	writeFile(t, filepath.Join(dir, "textio", "textio.go"), `package textio
+
+import "encoding/json"
+
+func Parse(data []byte) (map[string]any, error) {
+	var v map[string]any
+	err := json.Unmarshal(data, &v)
+	return v, err
+}
+`)
+	writeFile(t, filepath.Join(dir, "core", "core.go"), `package core
+
+import "sync"
+
+func Run(fns []func()) {
+	var wg sync.WaitGroup
+	for _, fn := range fns {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fn()
+		}()
+	}
+	wg.Wait()
+}
+`)
+	writeFile(t, filepath.Join(dir, "gen", "gen.go"), `package gen
+
+import "time"
+
+func Stamp() int64 { return time.Now().UnixNano() }
+`)
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -317,6 +317,7 @@ func SchedulePhased(ctx context.Context, g *cpg.Graph, a *arch.Architecture, opt
 	}
 	m := &merger{ctx: ctx, g: g, a: a, opt: opt, tbl: table.New()}
 	var deltaM int64
+	//lint:allow nowallclock phase telemetry reported via Stats; never part of the table output or any hash
 	tPathSched := time.Now()
 	infos, err := schedulePaths(ctx, g, a, opt, paths)
 	if err != nil {
@@ -339,6 +340,7 @@ func SchedulePhased(ctx context.Context, g *cpg.Graph, a *arch.Architecture, opt
 	if phases != nil {
 		phases(PhaseMerge, 1)
 	}
+	//lint:allow nowallclock phase telemetry reported via Stats; never part of the table output or any hash
 	tMerge := time.Now()
 	start := m.selectPath(cond.True())
 	if start == nil {
@@ -375,6 +377,7 @@ func SchedulePhased(ctx context.Context, g *cpg.Graph, a *arch.Architecture, opt
 			validateWorkers = 1
 		}
 	}
+	//lint:allow nowallclock phase telemetry reported via Stats; never part of the table output or any hash
 	tValidate := time.Now()
 	res.TableViolations = m.tbl.ValidateParallel(g, paths, validateWorkers)
 	simRes, err := sim.WorstCaseSubgraphs(a, m.tbl, subgraphs, validateWorkers)

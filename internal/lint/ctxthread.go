@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// defaultCtxThreadPkgs are the long-running packages: the scheduling core and
+// everything that fans work out across goroutines, shards or backends.
+const defaultCtxThreadPkgs = "core,service,expr,distrib"
+
+var ctxThreadScope = newPkgScope(defaultCtxThreadPkgs)
+
+// CtxThread enforces context threading in the long-running packages. Three
+// rules, all on exported functions:
+//
+//  1. a function that spawns goroutines must accept a context.Context —
+//     otherwise the spawned work cannot be cancelled;
+//  2. a function that loops calling context-aware work (a same-package
+//     function whose signature takes a context.Context) must itself accept
+//     one — otherwise it can only be passing context.Background() down;
+//  3. a function that does accept a ctx must not manufacture a fresh
+//     context.Background()/context.TODO() inside its body, which silently
+//     disconnects the callee from the caller's cancellation.
+var CtxThread = &analysis.Analyzer{
+	Name: "ctxthread",
+	Doc: "flag exported functions that spawn or loop over work without threading context.Context\n\n" +
+		"Scoped by package name via -ctxthread.pkgs (default " + defaultCtxThreadPkgs + ").",
+	Run: runCtxThread,
+}
+
+func init() {
+	CtxThread.Flags.Var(ctxThreadScope, "pkgs", "comma-separated package names to check")
+}
+
+func runCtxThread(pass *analysis.Pass) (any, error) {
+	if !ctxThreadScope.has(pass.Pkg) {
+		return nil, nil
+	}
+	allows := newAllowDirectives(pass, "ctxthread")
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !fn.Name.IsExported() {
+				continue
+			}
+			checkCtxThread(pass, allows, fn)
+		}
+	}
+	return nil, nil
+}
+
+func checkCtxThread(pass *analysis.Pass, allows *allowDirectives, fn *ast.FuncDecl) {
+	sig, ok := pass.TypesInfo.Defs[fn.Name].Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	hasCtx := hasContextParam(sig)
+
+	var spawn *ast.GoStmt
+	var ctxLoop ast.Node
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			if spawn == nil {
+				spawn = n
+			}
+		case *ast.ForStmt:
+			if ctxLoop == nil && loopCallsCtxWork(pass, n.Body) {
+				ctxLoop = n
+			}
+		case *ast.RangeStmt:
+			if ctxLoop == nil && loopCallsCtxWork(pass, n.Body) {
+				ctxLoop = n
+			}
+		case *ast.CallExpr:
+			if hasCtx {
+				obj := calleeObject(pass, n)
+				if isPkgFunc(obj, "context", "Background") || isPkgFunc(obj, "context", "TODO") {
+					reportf(pass, allows, n.Pos(),
+						"%s accepts a context.Context but builds context.%s here, disconnecting callees from the caller's cancellation (ctxthread)",
+						fn.Name.Name, obj.Name())
+				}
+			}
+		}
+		return true
+	})
+
+	if hasCtx {
+		return
+	}
+	if spawn != nil {
+		reportf(pass, allows, spawn.Pos(),
+			"exported %s spawns goroutines but takes no context.Context: the spawned work cannot be cancelled (ctxthread)",
+			fn.Name.Name)
+	}
+	if ctxLoop != nil {
+		reportf(pass, allows, ctxLoop.Pos(),
+			"exported %s loops over context-aware work but takes no context.Context, so it can only pass a background context down (ctxthread)",
+			fn.Name.Name)
+	}
+}
+
+// loopCallsCtxWork reports whether the loop body calls a function of the
+// package under analysis whose own signature accepts a context.Context —
+// the "looping over work items" shape that must thread cancellation.
+func loopCallsCtxWork(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		obj := calleeObject(pass, call)
+		if obj == nil || obj.Pkg() != pass.Pkg {
+			return true
+		}
+		if sig, ok := obj.Type().(*types.Signature); ok && hasContextParam(sig) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

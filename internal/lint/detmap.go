@@ -1,0 +1,292 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// defaultDetMapPkgs covers the deterministic packages whose output is pinned
+// byte-identical by golden tests, the satellite packages (atm, stats, memo)
+// whose tables and counters feed user-visible reports, and the codec and
+// transport packages, whose served documents are pinned byte-identical to
+// the in-process render.
+const defaultDetMapPkgs = "cond,cpg,listsched,sched,table,sim,expr,gen,core,atm,stats,memo,textio,httpserver,distrib,service"
+
+var detMapScope = newPkgScope(defaultDetMapPkgs)
+
+// DetMap flags `range` over a map whose body feeds an order-sensitive sink:
+// an append to a variable declared outside the loop with no sort of that
+// variable afterwards in the same block, a write to an io.Writer-shaped
+// method (Write, WriteString, Fprintf, csv Write, json Encode, ...), or
+// string concatenation into an outer variable. Map iteration order is
+// randomized per run, so any of these leaks nondeterminism straight into
+// output that the repository pins byte-identical.
+//
+// The canonical deterministic pattern — collect keys, sort, then iterate —
+// passes: an append followed by a sort of the appended variable in the same
+// enclosing block is not reported.
+var DetMap = &analysis.Analyzer{
+	Name: "detmap",
+	Doc: "flag map iteration feeding order-sensitive output without a sort\n\n" +
+		"Scoped by package name via -detmap.pkgs (default " + defaultDetMapPkgs + ").",
+	Run: runDetMap,
+}
+
+func init() {
+	DetMap.Flags.Var(detMapScope, "pkgs", "comma-separated package names to check")
+}
+
+func runDetMap(pass *analysis.Pass) (any, error) {
+	if !detMapScope.has(pass.Pkg) {
+		return nil, nil
+	}
+	allows := newAllowDirectives(pass, "detmap")
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return false
+			}
+			stack = append(stack, n)
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok || !isMapType(pass, rs.X) {
+				return true
+			}
+			checkMapRange(pass, allows, rs, stack)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func isMapType(pass *analysis.Pass, x ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(x)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// checkMapRange inspects one map-range body for order-sensitive sinks. stack
+// is the ancestor chain ending at rs, used to find the enclosing block so the
+// append-then-sort pattern can be recognized.
+func checkMapRange(pass *analysis.Pass, allows *allowDirectives, rs *ast.RangeStmt, stack []ast.Node) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if obj, call := appendToOuter(pass, n, rs); obj != nil {
+				if !sortedAfter(pass, obj, rs, stack) {
+					reportf(pass, allows, call.Pos(),
+						"append to %s inside range over map: iteration order is random; sort %s after the loop or iterate sorted keys (detmap)",
+						obj.Name(), obj.Name())
+				}
+			}
+			if obj := stringConcatToOuter(pass, n, rs); obj != nil {
+				reportf(pass, allows, n.Pos(),
+					"string concatenation into %s inside range over map: iteration order is random; iterate sorted keys instead (detmap)",
+					obj.Name())
+			}
+		case *ast.CallExpr:
+			if name := sinkCall(pass, n); name != "" {
+				reportf(pass, allows, n.Pos(),
+					"%s inside range over map writes output in random iteration order; iterate sorted keys instead (detmap)", name)
+			}
+		}
+		return true
+	})
+}
+
+// appendToOuter matches `v = append(v, ...)` (or combined with other
+// assignments) where v resolves to a variable declared outside the range
+// statement, returning that variable and the append call.
+func appendToOuter(pass *analysis.Pass, as *ast.AssignStmt, rs *ast.RangeStmt) (*types.Var, *ast.CallExpr) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return nil, nil // multi-value call on the right: append cannot appear
+	}
+	for i, rhs := range as.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || id.Name != "append" {
+			continue
+		}
+		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+			continue
+		}
+		if obj := outerVar(pass, as.Lhs[i], rs); obj != nil {
+			return obj, call
+		}
+	}
+	return nil, nil
+}
+
+// stringConcatToOuter matches `s += expr` or `s = s + expr` on a string
+// variable declared outside the range statement.
+func stringConcatToOuter(pass *analysis.Pass, as *ast.AssignStmt, rs *ast.RangeStmt) *types.Var {
+	if len(as.Lhs) != 1 {
+		return nil
+	}
+	obj := outerVar(pass, as.Lhs[0], rs)
+	if obj == nil || !isStringType(obj.Type()) {
+		return nil
+	}
+	switch {
+	case as.Tok.String() == "+=":
+		return obj
+	case as.Tok.String() == "=":
+		if bin, ok := ast.Unparen(as.Rhs[0]).(*ast.BinaryExpr); ok && bin.Op.String() == "+" {
+			return obj
+		}
+	}
+	return nil
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// outerVar resolves expr to a variable declared outside [rs.Pos, rs.End), or
+// nil. Selector expressions resolve to their root identifier's object so that
+// appends to fields of an outer struct count too.
+func outerVar(pass *analysis.Pass, expr ast.Expr, rs *ast.RangeStmt) *types.Var {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.SelectorExpr:
+			expr = e.X
+			continue
+		case *ast.IndexExpr:
+			expr = e.X
+			continue
+		case *ast.Ident:
+			v, ok := pass.TypesInfo.Uses[e].(*types.Var)
+			if !ok {
+				if v, ok = pass.TypesInfo.Defs[e].(*types.Var); !ok {
+					return nil
+				}
+			}
+			if v.Pos() >= rs.Pos() && v.Pos() < rs.End() {
+				return nil // declared inside the loop: per-iteration, order-safe
+			}
+			return v
+		default:
+			return nil
+		}
+	}
+}
+
+// sinkCall reports calls that emit output whose order is observable: the fmt
+// print family writing to a writer or stdout, Write/WriteString/Encode-shaped
+// methods, and csv row writes. Returns a human-readable name or "".
+func sinkCall(pass *analysis.Pass, call *ast.CallExpr) string {
+	obj := calleeObject(pass, call)
+	if obj == nil {
+		return ""
+	}
+	if pkg := obj.Pkg(); pkg != nil && pkg.Path() == "fmt" {
+		switch obj.Name() {
+		case "Fprint", "Fprintf", "Fprintln", "Print", "Printf", "Println":
+			return "fmt." + obj.Name()
+		}
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	switch fn.Name() {
+	case "Write", "WriteString", "WriteByte", "WriteRune", "Encode", "WriteAll":
+		return recvTypeName(sig) + "." + fn.Name()
+	}
+	return ""
+}
+
+func recvTypeName(sig *types.Signature) string {
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return t.String()
+}
+
+// sortedAfter reports whether, in the block enclosing rs, a later statement
+// sorts obj: a call into package sort or slices, or to a sort-named helper
+// (sortActivations, sortRows, ...), with obj among the arguments. That is the
+// collect-then-sort idiom detmap exists to steer people toward.
+func sortedAfter(pass *analysis.Pass, obj *types.Var, rs *ast.RangeStmt, stack []ast.Node) bool {
+	var block *ast.BlockStmt
+	for i := len(stack) - 2; i >= 0; i-- {
+		if b, ok := stack[i].(*ast.BlockStmt); ok {
+			block = b
+			break
+		}
+	}
+	if block == nil {
+		return false
+	}
+	after := false
+	for _, stmt := range block.List {
+		if stmt == ast.Stmt(rs) {
+			after = true
+			continue
+		}
+		if !after {
+			continue
+		}
+		found := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeObject(pass, call)
+			if callee == nil || callee.Pkg() == nil {
+				return true
+			}
+			if p := callee.Pkg().Path(); p != "sort" && p != "slices" &&
+				!strings.Contains(strings.ToLower(callee.Name()), "sort") {
+				return true
+			}
+			for _, arg := range call.Args {
+				if v := refersTo(pass, arg, obj); v {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// refersTo reports whether expr mentions obj anywhere.
+func refersTo(pass *analysis.Pass, expr ast.Expr, obj *types.Var) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

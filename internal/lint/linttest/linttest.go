@@ -1,0 +1,168 @@
+// Package linttest is a minimal, offline analysistest replacement: it loads
+// one testdata package from source, type-checks it against the standard
+// library (go/importer's source importer, no network, no export data), runs a
+// single analyzer over it and compares the diagnostics against `// want`
+// comments in the fixtures.
+//
+// Expectation syntax, one per line that should be flagged:
+//
+//	code() // want "regexp matched against the diagnostic message"
+//
+// Every diagnostic must be matched by a want on its line and every want must
+// be matched by a diagnostic; anything else fails the test.
+package linttest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Run loads the package rooted at dir (all non-test .go files), runs a over
+// it and checks diagnostics against the `// want` comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+
+	pass, fset, files := load(t, dir, a)
+
+	var got []diag
+	pass.Report = func(d analysis.Diagnostic) {
+		p := fset.Position(d.Pos)
+		got = append(got, diag{file: filepath.Base(p.Filename), line: p.Line, msg: d.Message})
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("%s: Run: %v", a.Name, err)
+	}
+
+	want := expectations(t, fset, files)
+	check(t, a.Name, got, want)
+}
+
+type diag struct {
+	file string
+	line int
+	msg  string
+}
+
+type expect struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// load parses and type-checks the fixture package in dir.
+func load(t *testing.T, dir string, a *analysis.Analyzer) (*analysis.Pass, *token.FileSet, []*ast.File) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "source", nil),
+		Error:    func(err error) { t.Fatalf("type error in fixture: %v", err) },
+	}
+	pkg, err := conf.Check(files[0].Name.Name, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture: %v", err)
+	}
+
+	return &analysis.Pass{
+		Analyzer:   a,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        pkg,
+		TypesInfo:  info,
+		TypesSizes: types.SizesFor("gc", "amd64"),
+		ResultOf:   make(map[*analysis.Analyzer]any),
+		ReadFile:   os.ReadFile,
+	}, fset, files
+}
+
+// expectations collects the // want comments of all fixture files.
+func expectations(t *testing.T, fset *token.FileSet, files []*ast.File) []*expect {
+	t.Helper()
+	var want []*expect
+	re := regexp.MustCompile(`// want "((?:[^"\\]|\\.)*)"`)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range re.FindAllStringSubmatch(c.Text, -1) {
+					pat, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("bad want pattern %q: %v", m[1], err)
+					}
+					p := fset.Position(c.Pos())
+					want = append(want, &expect{file: filepath.Base(p.Filename), line: p.Line, pattern: pat})
+				}
+			}
+		}
+	}
+	return want
+}
+
+func check(t *testing.T, name string, got []diag, want []*expect) {
+	t.Helper()
+	sort.Slice(got, func(i, j int) bool {
+		if got[i].file != got[j].file {
+			return got[i].file < got[j].file
+		}
+		return got[i].line < got[j].line
+	})
+	for _, d := range got {
+		if !claim(want, d) {
+			t.Errorf("%s: unexpected diagnostic at %s:%d: %s", name, d.file, d.line, d.msg)
+		}
+	}
+	for _, w := range want {
+		if !w.matched {
+			t.Errorf("%s: expected diagnostic matching %q at %s:%d, got none", name, w.pattern, w.file, w.line)
+		}
+	}
+}
+
+// claim marks the first unmatched expectation on d's line that matches d.
+func claim(want []*expect, d diag) bool {
+	for _, w := range want {
+		if !w.matched && w.file == d.file && w.line == d.line && w.pattern.MatchString(d.msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}

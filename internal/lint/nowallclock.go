@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// defaultNoWallClockPkgs is the deterministic core plus the satellite
+// packages whose outputs feed pinned tables and reports.
+const defaultNoWallClockPkgs = "cond,cpg,listsched,sched,table,sim,expr,gen,core,atm,stats,memo"
+
+var noWallClockScope = newPkgScope(defaultNoWallClockPkgs)
+
+// NoWallClock forbids the three ambient-state reads that break same-input
+// same-bytes reproducibility in the deterministic core:
+//
+//   - time.Now (wall clock),
+//   - the global math/rand source (rand.Intn, rand.Shuffle, ... — seeded
+//     *rand.Rand values built with rand.New(rand.NewSource(seed)) are fine),
+//   - the process environment (os.Getenv, os.LookupEnv, os.Environ).
+//
+// Genuine exceptions — e.g. a documented wall-clock budget — must carry a
+// //lint:allow nowallclock directive with a reason.
+var NoWallClock = &analysis.Analyzer{
+	Name: "nowallclock",
+	Doc: "forbid time.Now, global math/rand and environment reads in the deterministic core\n\n" +
+		"Scoped by package name via -nowallclock.pkgs (default " + defaultNoWallClockPkgs + ").",
+	Run: runNoWallClock,
+}
+
+func init() {
+	NoWallClock.Flags.Var(noWallClockScope, "pkgs", "comma-separated package names to check")
+}
+
+// globalRandConstructors are the math/rand functions that do NOT touch the
+// global source: they build or seed explicit generators.
+var globalRandConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func runNoWallClock(pass *analysis.Pass) (any, error) {
+	if !noWallClockScope.has(pass.Pkg) {
+		return nil, nil
+	}
+	allows := newAllowDirectives(pass, "nowallclock")
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			if _, isFunc := obj.(*types.Func); !isFunc {
+				return true
+			}
+			switch obj.Pkg().Path() {
+			case "time":
+				if obj.Name() == "Now" {
+					reportf(pass, allows, sel.Pos(),
+						"time.Now in the deterministic core: wall-clock reads make runs irreproducible (nowallclock)")
+				}
+			case "math/rand", "math/rand/v2":
+				if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() == nil &&
+					!globalRandConstructors[obj.Name()] {
+					reportf(pass, allows, sel.Pos(),
+						"global math/rand.%s in the deterministic core: use a seeded *rand.Rand (rand.New(rand.NewSource(seed))) so results are reproducible (nowallclock)",
+						obj.Name())
+				}
+			case "os":
+				switch obj.Name() {
+				case "Getenv", "LookupEnv", "Environ":
+					reportf(pass, allows, sel.Pos(),
+						"os.%s in the deterministic core: environment reads make behavior machine-dependent (nowallclock)",
+						obj.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

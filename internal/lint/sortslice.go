@@ -1,0 +1,52 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// SortSlice is a self-contained port of the x/tools sortslice check, which
+// the offline toolchain does not vendor: it flags sort.Slice, sort.SliceStable
+// and sort.SliceIsSorted calls whose first argument is not a slice (passing
+// e.g. a *[]T or a map compiles — the argument is interface{} — but panics at
+// run time or silently sorts nothing).
+var SortSlice = &analysis.Analyzer{
+	Name: "sortslice",
+	Doc:  "check the argument type of sort.Slice, sort.SliceStable and sort.SliceIsSorted",
+	Run:  runSortSlice,
+}
+
+func runSortSlice(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) < 1 {
+				return true
+			}
+			obj := calleeObject(pass, call)
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sort" {
+				return true
+			}
+			switch obj.Name() {
+			case "Slice", "SliceStable", "SliceIsSorted":
+			default:
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(call.Args[0])
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Slice, *types.Interface, *types.TypeParam:
+				return true // fine, or not decidable statically
+			}
+			pass.Reportf(call.Args[0].Pos(),
+				"sort.%s's argument must be a slice; %s is a %s (sortslice)",
+				obj.Name(), types.ExprString(call.Args[0]), t)
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"go/ast"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// defaultStrictDecodePkgs are the packages that parse external JSON: the
+// versioned document codecs and the two transport layers built on them.
+const defaultStrictDecodePkgs = "textio,httpserver,distrib"
+
+var (
+	strictDecodeScope  = newPkgScope(defaultStrictDecodePkgs)
+	strictDecodeExcept = "readStrict"
+)
+
+// StrictDecode flags json.Unmarshal and json.NewDecoder calls in the
+// document/transport packages that bypass textio's readStrict helper.
+// readStrict is the single place that sets DisallowUnknownFields and rejects
+// trailing data; any other decode path silently reintroduces lenient parsing
+// of wire input, which the v1 API contract forbids.
+var StrictDecode = &analysis.Analyzer{
+	Name: "strictdecode",
+	Doc: "flag JSON decoding that bypasses the shared readStrict helper\n\n" +
+		"Scoped by package name via -strictdecode.pkgs (default " + defaultStrictDecodePkgs + ").",
+	Run: runStrictDecode,
+}
+
+func init() {
+	StrictDecode.Flags.Var(strictDecodeScope, "pkgs", "comma-separated package names to check")
+	StrictDecode.Flags.StringVar(&strictDecodeExcept, "except", strictDecodeExcept,
+		"function allowed to construct decoders (the strict helper itself)")
+}
+
+func runStrictDecode(pass *analysis.Pass) (any, error) {
+	if !strictDecodeScope.has(pass.Pkg) {
+		return nil, nil
+	}
+	allows := newAllowDirectives(pass, "strictdecode")
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if fn.Name.Name == strictDecodeExcept && fn.Recv == nil {
+				continue // the helper is where the decoder is allowed to live
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				obj := calleeObject(pass, call)
+				switch {
+				case isPkgFunc(obj, "encoding/json", "Unmarshal"):
+					reportf(pass, allows, call.Pos(),
+						"json.Unmarshal bypasses %s: unknown fields and trailing data go undetected; decode wire input through %s (strictdecode)",
+						strictDecodeExcept, strictDecodeExcept)
+				case isPkgFunc(obj, "encoding/json", "NewDecoder"):
+					reportf(pass, allows, call.Pos(),
+						"json.NewDecoder outside %s: decoders built here skip DisallowUnknownFields and the trailing-data check (strictdecode)",
+						strictDecodeExcept)
+				}
+				return true
+			})
+		}
+	}
+	return nil, nil
+}

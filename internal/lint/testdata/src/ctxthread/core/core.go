@@ -1,0 +1,100 @@
+// Package core is a ctxthread fixture named after the real scheduling core.
+//
+// Regression notes: the first tree-wide run found no naked goroutine spawns —
+// PR 3 threaded ctx through core.ScheduleContext and PR 5 through
+// RunSweepShard — so these fixtures pin the rules that keep it that way.
+package core
+
+import (
+	"context"
+	"sync"
+)
+
+type item struct{ id int }
+
+func process(ctx context.Context, it item) error { _ = ctx; _ = it; return nil }
+
+func cheap(it item) int { return it.id }
+
+// SpawnNoCtx launches work that can never be cancelled.
+func SpawnNoCtx(items []item) {
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func() { // want "exported SpawnNoCtx spawns goroutines but takes no context.Context"
+			defer wg.Done()
+			_ = cheap(it)
+		}()
+	}
+	wg.Wait()
+}
+
+// SpawnWithCtx accepts and passes the context; not flagged.
+func SpawnWithCtx(ctx context.Context, items []item) {
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = process(ctx, it)
+		}()
+	}
+	wg.Wait()
+}
+
+// LoopNoCtx iterates context-aware work without a context of its own: the
+// only thing it could be passing down is context.Background().
+func LoopNoCtx(items []item) error {
+	for _, it := range items { // want "exported LoopNoCtx loops over context-aware work"
+		if err := process(context.Background(), it); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoopWithCtx threads the caller's context through the loop; not flagged.
+func LoopWithCtx(ctx context.Context, items []item) error {
+	for _, it := range items {
+		if err := process(ctx, it); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DropsCtx accepts a context and then manufactures a fresh one, silently
+// disconnecting the callee from cancellation.
+func DropsCtx(ctx context.Context, it item) error {
+	_ = ctx
+	return process(context.Background(), it) // want "DropsCtx accepts a context.Context but builds context.Background"
+}
+
+// LoopCheapWork loops over work that is not context-aware; no cancellation
+// point exists to thread, so it is not flagged.
+func LoopCheapWork(items []item) int {
+	total := 0
+	for _, it := range items {
+		total += cheap(it)
+	}
+	return total
+}
+
+// unexportedSpawn is internal plumbing: callers inside the package are
+// responsible for the contexts of the functions they expose.
+func unexportedSpawn(items []item) {
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+	_ = items
+}
+
+// MainLoopAllowed models a top-of-process accept loop that owns its
+// lifetime; the allow documents that.
+func MainLoopAllowed(items []item) {
+	//lint:allow ctxthread process entry point owns its lifetime; signals handled by the caller
+	for _, it := range items {
+		_ = process(context.Background(), it)
+	}
+	_ = unexportedSpawn
+}

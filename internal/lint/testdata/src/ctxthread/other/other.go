@@ -1,0 +1,16 @@
+// Package other is outside ctxthread's scope: short-lived helper packages
+// may spawn fire-and-forget goroutines without threading a context.
+package other
+
+func Spawn(fns []func()) {
+	done := make(chan struct{}, len(fns))
+	for _, fn := range fns {
+		go func() {
+			fn()
+			done <- struct{}{}
+		}()
+	}
+	for range fns {
+		<-done
+	}
+}

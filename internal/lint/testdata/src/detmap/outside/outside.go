@@ -1,0 +1,11 @@
+// Package outside is not in detmap's scope: the same pattern that is flagged
+// in the deterministic packages passes here without a directive.
+package outside
+
+func Collect(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,14 @@
+// Package other is outside nowallclock's scope: operational packages (HTTP
+// servers, CLIs) read clocks and the environment legitimately.
+package other
+
+import (
+	"os"
+	"time"
+)
+
+func Uptime(start time.Time) time.Duration { return time.Since(start) }
+
+func Now() time.Time { return time.Now() }
+
+func Port() string { return os.Getenv("PORT") }

@@ -1,0 +1,12 @@
+// Package a exercises the sortslice port.
+package a
+
+import "sort"
+
+func Sorts(v []int, pv *[]int, m map[int]int) {
+	sort.Slice(v, func(i, j int) bool { return v[i] < v[j] })
+	sort.Slice(pv, func(i, j int) bool { return (*pv)[i] < (*pv)[j] }) // want "sort.Slice's argument must be a slice; pv is a \*\[\]int"
+	sort.SliceStable(m, func(i, j int) bool { return i < j })          // want "sort.SliceStable's argument must be a slice; m is a map\[int\]int"
+	var any interface{} = v
+	sort.Slice(any, func(i, j int) bool { return false }) // interface: not statically decidable, not flagged
+}

@@ -1,0 +1,11 @@
+// Package other is outside strictdecode's scope: packages that do not parse
+// wire input may use encoding/json directly.
+package other
+
+import "encoding/json"
+
+func Parse(data []byte) (map[string]any, error) {
+	var v map[string]any
+	err := json.Unmarshal(data, &v)
+	return v, err
+}

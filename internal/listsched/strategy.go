@@ -199,6 +199,7 @@ func (tabuStrategy) SchedulePath(sc *Scratch, sub *cpg.Subgraph, a *arch.Archite
 	}
 	var deadline time.Time
 	if p.Budget > 0 {
+		//lint:allow nowallclock Budget is a wall-clock cutoff by contract; budgeted runs bypass the deterministic memo
 		deadline = time.Now().Add(p.Budget)
 	}
 
@@ -209,6 +210,7 @@ func (tabuStrategy) SchedulePath(sc *Scratch, sub *cpg.Subgraph, a *arch.Archite
 	cands := make([]tabuCandidate, 0, cur.Len())
 	stagnant := 0
 	for it := 0; it < iters && stagnant < DefaultTabuStagnation; it++ {
+		//lint:allow nowallclock Budget is a wall-clock cutoff by contract; budgeted runs bypass the deterministic memo
 		if p.Budget > 0 && time.Now().After(deadline) {
 			break
 		}

@@ -214,6 +214,7 @@ func (ps *PathSchedule) KnownAt(pe arch.PEID, t int64) cond.Cube {
 			avail = ct.DecidedAt
 		}
 		if t >= avail {
+			//lint:allow detmap CubeFromOwnedLits sorts and compacts the literals, so collection order cannot reach the output
 			lits = append(lits, cond.Lit{Cond: ct.Cond, Val: ct.Value})
 		}
 	}

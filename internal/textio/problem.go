@@ -314,6 +314,7 @@ func ReadProblemOrLegacy(r io.Reader) (*ProblemDoc, bool, error) {
 	var probe struct {
 		Version string `json:"version"`
 	}
+	//lint:allow strictdecode the probe reads one field of an arbitrary document to pick the format; the winning branch re-reads strictly
 	if err := json.Unmarshal(data, &probe); err != nil {
 		return nil, false, fmt.Errorf("textio: %w", err)
 	}

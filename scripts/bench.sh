@@ -1,4 +1,4 @@
-#!/usr/bin/env sh
+#!/usr/bin/env bash
 # Runs the performance-tracking benchmark suite and writes BENCH_results.json
 # at the repository root. Override the selection or duration via BENCH /
 # BENCHTIME, and attach a free-text note (e.g. a before/after comparison) via
@@ -8,15 +8,34 @@
 #   BENCHTIME=3s NOTE="after heap scheduler" scripts/bench.sh
 #
 # The benchmark text output is echoed to stderr so it stays visible while
-# stdout feeds the JSON converter.
-set -eu
+# stdout feeds the JSON converter. Fails loudly: pipefail propagates a
+# benchmark failure instead of silently writing a truncated JSON file, the
+# result goes through a temp file so BENCH_results.json is never partial, and
+# the Go toolchain must match the version pinned in go.mod so numbers stay
+# comparable across runs.
+set -euo pipefail
 cd "$(dirname "$0")/.."
+
+want_go=$(sed -n 's/^go \([0-9][0-9.]*\).*/\1/p' go.mod)
+have_go=$(go env GOVERSION)
+case "$have_go" in
+go"$want_go" | go"$want_go".*) ;;
+*)
+  echo "bench.sh: toolchain $have_go does not match go.mod (go $want_go); refusing to record benchmarks" >&2
+  exit 1
+  ;;
+esac
 
 BENCH="${BENCH:-BenchmarkTable1Figure1|BenchmarkScheduleRunParallel|BenchmarkScheduleParallelPaths|BenchmarkListSchedule120|BenchmarkListschedInner|BenchmarkValidateParallel|BenchmarkFig5Sweep|BenchmarkStrategies|BenchmarkTabuInner}"
 BENCHTIME="${BENCHTIME:-1s}"
 NOTE="${NOTE:-}"
 
+tmp=$(mktemp BENCH_results.json.XXXXXX)
+trap 'rm -f "$tmp"' EXIT
+
 go test -run=NONE -bench "$BENCH" -benchmem -benchtime "$BENCHTIME" . \
   | tee /dev/stderr \
-  | go run ./cmd/benchjson -note "$NOTE" > BENCH_results.json
+  | go run ./cmd/benchjson -note "$NOTE" >"$tmp"
+mv "$tmp" BENCH_results.json
+trap - EXIT
 echo "wrote BENCH_results.json" >&2

@@ -7,13 +7,23 @@
 //     (expr.GoldenSweep, wall-clock columns zeroed), pinning the
 //     distributed-sweep byte-identity tests and the sweep smoke script.
 //
+// It fails loudly rather than leaving partial fixtures: every file is
+// written to a temp sibling and renamed only after a successful flush, and
+// the Go toolchain must match the version pinned in go.mod — golden bytes
+// regenerated under a different toolchain would not be comparable.
+//
 // Run from the repository root:
 //
 //	go run ./scripts/gengolden
 package main
 
 import (
+	"fmt"
+	"io"
 	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/expr"
@@ -21,36 +31,85 @@ import (
 )
 
 func main() {
-	writeFigure1()
-	writeSweepGolden()
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "gengolden: %v\n", err)
+		os.Exit(1)
+	}
 }
 
-func writeFigure1() {
+func run() error {
+	if err := checkToolchain(); err != nil {
+		return err
+	}
+	if err := writeAtomic("testdata/figure1_v1.json", writeFigure1); err != nil {
+		return err
+	}
+	return writeAtomic("testdata/sweep_golden.csv", writeSweepGolden)
+}
+
+// checkToolchain refuses to regenerate goldens under a toolchain other than
+// the one go.mod pins: fixture bytes must be reproducible by CI and by the
+// next person running the command.
+func checkToolchain() error {
+	data, err := os.ReadFile("go.mod")
+	if err != nil {
+		return fmt.Errorf("reading go.mod (run from the repository root): %w", err)
+	}
+	want := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		if v, ok := strings.CutPrefix(line, "go "); ok {
+			want = strings.TrimSpace(v)
+			break
+		}
+	}
+	if want == "" {
+		return fmt.Errorf("no go directive found in go.mod")
+	}
+	have := runtime.Version()
+	if have != "go"+want && !strings.HasPrefix(have, "go"+want+".") {
+		return fmt.Errorf("toolchain %s does not match go.mod (go %s); refusing to regenerate goldens", have, want)
+	}
+	return nil
+}
+
+// writeAtomic streams gen's output to a temp sibling of path and renames it
+// into place only after a successful close, so an error mid-generation can
+// never leave a truncated golden behind.
+func writeAtomic(path string, gen func(io.Writer) error) error {
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if err := gen(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("generating %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("flushing %s: %w", path, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "gengolden: wrote %s\n", path)
+	return nil
+}
+
+func writeFigure1(w io.Writer) error {
 	g, a, err := expr.Figure1()
 	if err != nil {
-		panic(err)
+		return err
 	}
-	f, err := os.Create("testdata/figure1_v1.json")
-	if err != nil {
-		panic(err)
-	}
-	defer f.Close()
-	if err := textio.WriteProblem(f, textio.EncodeProblem(g, a, core.Options{})); err != nil {
-		panic(err)
-	}
+	return textio.WriteProblem(w, textio.EncodeProblem(g, a, core.Options{}))
 }
 
-func writeSweepGolden() {
+func writeSweepGolden(w io.Writer) error {
 	cells, err := expr.RunSweep(expr.GoldenSweep())
 	if err != nil {
-		panic(err)
+		return err
 	}
-	f, err := os.Create("testdata/sweep_golden.csv")
-	if err != nil {
-		panic(err)
-	}
-	defer f.Close()
-	if err := expr.WriteSweepCSV(f, expr.ZeroTimes(cells)); err != nil {
-		panic(err)
-	}
+	return expr.WriteSweepCSV(w, expr.ZeroTimes(cells))
 }
