@@ -23,12 +23,18 @@
 // -shards N shard jobs (stable per-graph assignment), fans them concurrently
 // over the -remote cpgserve servers (comma-separated base URLs; without
 // -remote the shards execute in this process under one shared worker
-// budget), retries a failed shard on the remaining backends, verifies
-// coverage and merges the partial results — the merged figures and CSV are
-// byte-identical to a single-process run with the same seed (wall-clock
-// columns aside; -zero-times zeroes them for diffing). For offline sharding,
-// -shard i/N runs one shard and writes its partial result document to
-// stdout, and -merge a.json,b.json,... recombines saved partials.
+// budget), retries failed shards with bounded exponential backoff on the
+// live backends, steals the slowest in-flight shard for idle backends (first
+// finisher wins), verifies coverage and merges the partial results — the
+// merged figures and CSV are byte-identical to a single-process run with the
+// same seed (wall-clock columns aside; -zero-times zeroes them for diffing).
+// -probe-interval D probes every backend's /healthz periodically, evicting
+// dead backends from dispatch and re-admitting them when they recover;
+// -journal DIR spools every completed shard to disk so a killed coordinator,
+// restarted with the same flags, re-dispatches only the missing shards. For
+// offline sharding, -shard i/N runs one shard and writes its partial result
+// document to stdout, and -merge a.json,b.json,... recombines saved
+// partials.
 //
 // Experiments that share generated instances reuse them instead of
 // regenerating: fig1 and fig4 share one worked-example run, and the ablation
@@ -79,6 +85,8 @@ func run(args []string, out io.Writer) error {
 	shards := fs.Int("shards", 0, "split the sweep into N shards and run them through the coordinator (0 = single-process)")
 	remote := fs.String("remote", "", "comma-separated cpgserve base URLs executing sweep shards (empty = in-process)")
 	shardTimeout := fs.Duration("shard-timeout", distrib.DefaultShardTimeout, "per-attempt time limit of one shard on one backend before it fails over (negative = unbounded)")
+	journalDir := fs.String("journal", "", "spool completed sweep shards to this directory and resume from it on restart (coordinator mode)")
+	probeInterval := fs.Duration("probe-interval", 0, "health-probe period of the coordinator's backend registry (0 = probe only via shard attempts)")
 	shardSpec := fs.String("shard", "", "run only shard i/N of the sweep and write its partial result document to stdout (offline sharding)")
 	mergeFiles := fs.String("merge", "", "merge saved partial shard result documents (comma-separated files) instead of scheduling; renders only the sweep figures/CSV")
 	csvPath := fs.String("csv", "", "also write the sweep cells as CSV to this path (- = stdout)")
@@ -188,7 +196,7 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		cells, err := runSweepCells(cfg, *mergeFiles, *shards, *remote, *shardTimeout, *progress)
+		cells, err := runSweepCells(cfg, *mergeFiles, *shards, *remote, *shardTimeout, *journalDir, *probeInterval, *progress)
 		if err != nil {
 			return err
 		}
@@ -288,7 +296,7 @@ func splitList(s string) []string {
 // runSweepCells produces the sweep cells by whichever mode the flags select:
 // merging saved partials, coordinating shards over backends, or the plain
 // single-process run.
-func runSweepCells(cfg expr.SweepConfig, mergeFiles string, shards int, remote string, shardTimeout time.Duration, progress bool) ([]expr.Cell, error) {
+func runSweepCells(cfg expr.SweepConfig, mergeFiles string, shards int, remote string, shardTimeout time.Duration, journalDir string, probeInterval time.Duration, progress bool) ([]expr.Cell, error) {
 	start := time.Now()
 	defer func() {
 		// Timing goes to stderr so stdout is byte-identical for every
@@ -298,16 +306,21 @@ func runSweepCells(cfg expr.SweepConfig, mergeFiles string, shards int, remote s
 	if mergeFiles != "" {
 		return mergePartialFiles(cfg, splitList(mergeFiles))
 	}
-	if shards > 0 || remote != "" {
-		return runCoordinated(cfg, shards, splitList(remote), shardTimeout, progress)
+	if shards > 0 || remote != "" || journalDir != "" {
+		return runCoordinated(cfg, shards, splitList(remote), shardTimeout, journalDir, probeInterval, progress)
 	}
 	return expr.RunSweep(cfg)
 }
 
 // runCoordinated fans the sweep's shards over the remote servers (or an
-// in-process service sharing one worker budget) and merges the results.
-// Ctrl-C cancels the in-flight shard requests promptly.
-func runCoordinated(cfg expr.SweepConfig, shards int, remotes []string, shardTimeout time.Duration, progress bool) ([]expr.Cell, error) {
+// in-process service sharing one worker budget) and merges the results. The
+// backends are registered in a health-tracked registry — optionally probed
+// periodically via /healthz — failed shards retry with backoff on the live
+// members, idle backends steal the slowest in-flight shard, and with
+// -journal every completed shard is spooled so a restarted run re-dispatches
+// only the missing ones. Ctrl-C cancels the in-flight shard requests
+// promptly (the journal keeps what finished).
+func runCoordinated(cfg expr.SweepConfig, shards int, remotes []string, shardTimeout time.Duration, journalDir string, probeInterval time.Duration, progress bool) ([]expr.Cell, error) {
 	var backends []distrib.Backend
 	for _, u := range remotes {
 		backends = append(backends, distrib.HTTP{BaseURL: u})
@@ -324,17 +337,38 @@ func runCoordinated(cfg expr.SweepConfig, shards int, remotes []string, shardTim
 	if shards < 1 {
 		shards = max(1, len(backends))
 	}
-	// Per-graph progress would interleave across concurrent shards; the
-	// coordinator reports per-shard completions instead.
-	cfg.Progress = nil
-	co := &distrib.Coordinator{Shards: shards, Backends: backends, ShardTimeout: shardTimeout}
+	var logf func(format string, args ...any)
 	if progress {
-		co.Log = func(format string, args ...any) {
+		logf = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "sweep: "+format+"\n", args...)
 		}
 	}
+	reg := distrib.NewRegistry()
+	reg.ProbeInterval = probeInterval
+	reg.Log = logf
+	for _, b := range backends {
+		if err := reg.Register(b); err != nil {
+			return nil, err
+		}
+	}
+	// Per-graph progress would interleave across concurrent shards; the
+	// coordinator reports per-shard completions instead.
+	cfg.Progress = nil
+	co := &distrib.Coordinator{Shards: shards, Registry: reg, ShardTimeout: shardTimeout, Log: logf}
+	if journalDir != "" {
+		j, err := distrib.OpenJournal(journalDir)
+		if err != nil {
+			return nil, err
+		}
+		co.Journal = j
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	if probeInterval > 0 {
+		probeCtx, stopProbes := context.WithCancel(ctx)
+		defer stopProbes()
+		go reg.RunProbes(probeCtx)
+	}
 	return co.Run(ctx, cfg)
 }
 

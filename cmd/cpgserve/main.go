@@ -55,6 +55,11 @@ func main() {
 	go func() {
 		defer close(drained)
 		<-ctx.Done()
+		// Advertise "draining" on /healthz for the shutdown window, so a
+		// probing sweep registry stops dispatching here instead of seeing a
+		// hard disappearance mid-shard.
+		srv.SetDraining(true)
+		logger.Print("draining: finishing in-flight requests")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		httpSrv.Shutdown(shutdownCtx)

@@ -1,20 +1,28 @@
 // Package distrib coordinates a distributed Fig. 5/6 sweep: it partitions
 // the sweep into shards (the stable per-graph assignment of
-// expr.SweepConfig), fans the shards concurrently over one or more backends
+// expr.SweepConfig), fans the shards concurrently over a fleet of backends
 // — remote cpgserve instances via POST /v1/sweep, or in-process execution —
-// retries a failed shard on the remaining backends, accounts for coverage
 // and merges the partial results into the exact cells a single-process run
 // produces, byte for byte.
+//
+// The fleet is fault-tolerant: a Registry tracks backend liveness via
+// periodic /healthz probes (eviction after consecutive failures, re-admission
+// when a probe succeeds again, graceful drain), the Coordinator retries
+// failed shards with bounded exponential backoff across live backends and
+// steals the slowest in-flight shard for idle backends (first finisher wins),
+// and a Journal spools completed shard results to disk so an interrupted
+// sweep resumes by re-dispatching only the missing shards.
 package distrib
 
 import (
 	"bytes"
 	"context"
-	"errors"
+	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
-
+	"strings"
 	"time"
 
 	"repro/internal/expr"
@@ -29,6 +37,29 @@ import (
 // one, the attempt fails after the timeout and the shard migrates.
 const DefaultShardTimeout = 15 * time.Minute
 
+// defaultClient is the package-level HTTP client shared by every HTTP
+// backend whose Client field is nil. Unlike http.DefaultClient it pools
+// connections explicitly and bounds the phases that can hang on a dead peer:
+// dialing and response headers. The response-header timeout is sized to
+// DefaultShardTimeout because a sweep server computes the whole shard before
+// writing its response headers — a coordinator running with a larger (or
+// unbounded) ShardTimeout should supply its own Client.
+var defaultClient = &http.Client{
+	Transport: &http.Transport{
+		Proxy: http.ProxyFromEnvironment,
+		DialContext: (&net.Dialer{
+			Timeout:   10 * time.Second,
+			KeepAlive: 30 * time.Second,
+		}).DialContext,
+		MaxIdleConns:          64,
+		MaxIdleConnsPerHost:   16,
+		IdleConnTimeout:       90 * time.Second,
+		TLSHandshakeTimeout:   10 * time.Second,
+		ExpectContinueTimeout: time.Second,
+		ResponseHeaderTimeout: DefaultShardTimeout,
+	},
+}
+
 // Backend executes one shard of a sweep.
 type Backend interface {
 	// Name identifies the backend in error messages and logs.
@@ -36,6 +67,24 @@ type Backend interface {
 	// RunShard executes the shard selected by cfg and returns its raw
 	// per-graph results. Implementations must honour ctx cancellation.
 	RunShard(ctx context.Context, cfg expr.SweepConfig) (*expr.ShardResult, error)
+}
+
+// ProbeInfo is what a health probe learns about a backend.
+type ProbeInfo struct {
+	// Capacity is the backend's advertised worker budget (0 = unknown). The
+	// registry uses it to decide how many concurrent shards a backend can
+	// absorb before dispatch prefers an idler one.
+	Capacity int
+	// Draining reports a backend that still finishes in-flight shards but
+	// asks not to be offered new ones.
+	Draining bool
+}
+
+// HealthProber is implemented by backends that can report liveness and
+// capacity. The Registry probes it periodically; backends without it are
+// assumed alive with unknown capacity.
+type HealthProber interface {
+	Probe(ctx context.Context) (ProbeInfo, error)
 }
 
 // InProcess executes shards in this process. With a Service attached the
@@ -61,41 +110,69 @@ func (b InProcess) RunShard(ctx context.Context, cfg expr.SweepConfig) (*expr.Sh
 	return expr.RunSweepShardContext(ctx, cfg)
 }
 
+// Probe implements HealthProber: an in-process backend is alive by
+// definition and advertises its service's worker budget (zero without a
+// service — the registry treats that as capacity unknown).
+func (b InProcess) Probe(ctx context.Context) (ProbeInfo, error) {
+	if err := ctx.Err(); err != nil {
+		return ProbeInfo{}, err
+	}
+	if b.Service == nil {
+		return ProbeInfo{}, nil
+	}
+	return ProbeInfo{Capacity: b.Service.Stats().Workers}, nil
+}
+
 // HTTP executes shards on a remote cpgserve instance via POST /v1/sweep.
 type HTTP struct {
 	// BaseURL is the server address, e.g. "http://host:8080" (a trailing
 	// slash is tolerated).
 	BaseURL string
-	// Client is the HTTP client to use (nil = http.DefaultClient).
+	// Client is the HTTP client to use. Nil means the package's shared
+	// pooled client (bounded dial and response-header timeouts), never
+	// http.DefaultClient.
 	Client *http.Client
 }
 
 // Name implements Backend.
 func (b HTTP) Name() string { return b.BaseURL }
 
+// client returns the backend's HTTP client, defaulting to the shared pooled
+// one.
+func (b HTTP) client() *http.Client {
+	if b.Client != nil {
+		return b.Client
+	}
+	return defaultClient
+}
+
+// baseURL returns BaseURL without trailing slashes.
+func (b HTTP) baseURL() string {
+	return strings.TrimRight(b.BaseURL, "/")
+}
+
 // RunShard implements Backend: it posts the strict v1 sweep request document
 // and parses the strict v1 response, verifying that the served shard carries
-// the requested coordinates.
+// the requested coordinates and belongs to the requested sweep (same
+// SweepHash) — a misconfigured proxy or a stale server answering for a
+// different sweep is rejected here, before its cells can reach MergeCells.
 func (b HTTP) RunShard(ctx context.Context, cfg expr.SweepConfig) (*expr.ShardResult, error) {
 	cfg = cfg.Normalize()
-	var body bytes.Buffer
-	if err := textio.WriteSweepRequest(&body, textio.EncodeSweepRequest(cfg)); err != nil {
+	reqDoc := textio.EncodeSweepRequest(cfg)
+	wantHash, err := textio.SweepHash(reqDoc)
+	if err != nil {
 		return nil, err
 	}
-	url := b.BaseURL
-	for len(url) > 0 && url[len(url)-1] == '/' {
-		url = url[:len(url)-1]
+	var body bytes.Buffer
+	if err := textio.WriteSweepRequest(&body, reqDoc); err != nil {
+		return nil, err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url+"/v1/sweep", &body)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.baseURL()+"/v1/sweep", &body)
 	if err != nil {
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
-	client := b.Client
-	if client == nil {
-		client = http.DefaultClient
-	}
-	resp, err := client.Do(req)
+	resp, err := b.client().Do(req)
 	if err != nil {
 		return nil, err
 	}
@@ -104,9 +181,13 @@ func (b HTTP) RunShard(ctx context.Context, cfg expr.SweepConfig) (*expr.ShardRe
 		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
 		return nil, fmt.Errorf("POST /v1/sweep: %s: %s", resp.Status, bytes.TrimSpace(data))
 	}
-	_, sh, err := textio.ReadSweepResponse(resp.Body)
+	doc, sh, err := textio.ReadSweepResponse(resp.Body)
 	if err != nil {
 		return nil, err
+	}
+	if doc.SweepHash != wantHash {
+		return nil, fmt.Errorf("server returned sweep %s for requested sweep %s (shard %d/%d): response rejected",
+			doc.SweepHash, wantHash, cfg.ShardIndex, cfg.ShardCount)
 	}
 	if sh.ShardIndex != cfg.ShardIndex || sh.ShardCount != cfg.ShardCount {
 		return nil, fmt.Errorf("server returned shard %d/%d for requested shard %d/%d",
@@ -115,108 +196,38 @@ func (b HTTP) RunShard(ctx context.Context, cfg expr.SweepConfig) (*expr.ShardRe
 	return sh, nil
 }
 
-// Coordinator fans the shards of a sweep over a set of backends and merges
-// the partial results.
-type Coordinator struct {
-	// Shards is the number of shards to split the sweep into (<= 1 means a
-	// single shard covering the whole sweep).
-	Shards int
-	// Backends execute the shards. Shard i is first offered to backend
-	// i mod len(Backends) (round-robin), and on failure retried once on
-	// each remaining backend, so a killed server only fails the sweep when
-	// no backend can take over its shards. Empty means one in-process
-	// backend without a service.
-	Backends []Backend
-	// Log, when non-nil, receives one line per shard completion and per
-	// retried failure.
-	Log func(format string, args ...any)
-	// ShardTimeout bounds one shard attempt on one backend, so a hung
-	// backend fails over instead of stalling the sweep (0 =
-	// DefaultShardTimeout, negative = unbounded).
-	ShardTimeout time.Duration
-}
-
-// logf emits a coordinator progress line, if logging is attached.
-func (c *Coordinator) logf(format string, args ...any) {
-	if c.Log != nil {
-		c.Log(format, args...)
-	}
-}
-
-// Run executes the whole sweep — every shard, fanned out concurrently over
-// the coordinator's backends — and returns the merged cells, identical byte
-// for byte (timing aside) to expr.RunSweep of the same config. Cancelling
-// ctx aborts all in-flight shard requests promptly.
-func (c *Coordinator) Run(ctx context.Context, cfg expr.SweepConfig) ([]expr.Cell, error) {
-	shards, err := c.RunShards(ctx, cfg)
+// Probe implements HealthProber via GET /healthz. The decode is deliberately
+// lenient — a probe must interoperate with newer servers whose health
+// document has grown fields, so unknown fields are ignored rather than
+// rejected.
+func (b HTTP) Probe(ctx context.Context) (ProbeInfo, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.baseURL()+"/healthz", nil)
 	if err != nil {
-		return nil, err
+		return ProbeInfo{}, err
 	}
-	return expr.MergeCells(cfg, shards)
-}
-
-// RunShards executes every shard of the sweep and returns the partial
-// results in shard order, without merging (callers that persist or forward
-// partial results use this; Run is the merging convenience).
-func (c *Coordinator) RunShards(ctx context.Context, cfg expr.SweepConfig) ([]*expr.ShardResult, error) {
-	cfg = cfg.Normalize()
-	count := c.Shards
-	if count < 1 {
-		count = 1
+	resp, err := b.client().Do(req)
+	if err != nil {
+		return ProbeInfo{}, err
 	}
-	backends := c.Backends
-	if len(backends) == 0 {
-		backends = []Backend{InProcess{}}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		return ProbeInfo{}, fmt.Errorf("GET /healthz: %s: %s", resp.Status, bytes.TrimSpace(data))
 	}
-	results := make([]*expr.ShardResult, count)
-	errs := make([]error, count)
-	done := make(chan struct{})
-	for i := 0; i < count; i++ {
-		go func(i int) {
-			defer func() { done <- struct{}{} }()
-			scfg := cfg
-			scfg.ShardIndex, scfg.ShardCount = i, count
-			results[i], errs[i] = c.runOneShard(ctx, scfg, backends)
-		}(i)
+	var doc struct {
+		Status  string `json:"status"`
+		Workers int    `json:"workers"`
 	}
-	for i := 0; i < count; i++ {
-		<-done
+	//lint:allow strictdecode health probes tolerate newer servers: unknown /healthz fields must not evict a live backend
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&doc); err != nil {
+		return ProbeInfo{}, fmt.Errorf("GET /healthz: %w", err)
 	}
-	if err := errors.Join(errs...); err != nil {
-		return nil, err
+	switch doc.Status {
+	case "ok":
+		return ProbeInfo{Capacity: doc.Workers}, nil
+	case "draining":
+		return ProbeInfo{Capacity: doc.Workers, Draining: true}, nil
+	default:
+		return ProbeInfo{}, fmt.Errorf("GET /healthz: status %q", doc.Status)
 	}
-	return results, nil
-}
-
-// runOneShard tries the shard's round-robin backend first, then retries on
-// each remaining backend, so a dead server's shards migrate instead of
-// failing the sweep.
-func (c *Coordinator) runOneShard(ctx context.Context, cfg expr.SweepConfig, backends []Backend) (*expr.ShardResult, error) {
-	timeout := c.ShardTimeout
-	if timeout == 0 {
-		timeout = DefaultShardTimeout
-	}
-	var errs []error
-	for attempt := 0; attempt < len(backends); attempt++ {
-		if err := ctx.Err(); err != nil {
-			errs = append(errs, err)
-			break
-		}
-		b := backends[(cfg.ShardIndex+attempt)%len(backends)]
-		attemptCtx, cancel := ctx, context.CancelFunc(func() {})
-		if timeout > 0 {
-			attemptCtx, cancel = context.WithTimeout(ctx, timeout)
-		}
-		sh, err := b.RunShard(attemptCtx, cfg)
-		cancel()
-		if err == nil {
-			c.logf("shard %d/%d done on %s (%d graphs)", cfg.ShardIndex, cfg.ShardCount, b.Name(), len(sh.Results))
-			return sh, nil
-		}
-		errs = append(errs, fmt.Errorf("distrib: shard %d/%d on %s: %w", cfg.ShardIndex, cfg.ShardCount, b.Name(), err))
-		if ctx.Err() == nil && attempt+1 < len(backends) {
-			c.logf("shard %d/%d failed on %s, retrying elsewhere: %v", cfg.ShardIndex, cfg.ShardCount, b.Name(), err)
-		}
-	}
-	return nil, errors.Join(errs...)
 }

@@ -1,0 +1,211 @@
+// Package distribtest is a deterministic fault-injection harness for the
+// distributed sweep: scripted in-process backends whose per-attempt fate —
+// run, fail, hang on a gate, or die mid-shard — is decided by the test, so
+// churn scenarios (backends dying, joining late, being stolen from,
+// coordinators restarting) replay exactly, with no wall-clock coupling. The
+// computation itself is real (expr.RunSweepShardContext or a shared
+// service), so golden tests over these backends pin the merged CSV
+// byte-for-byte under every scenario.
+package distribtest
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/distrib"
+	"repro/internal/expr"
+	"repro/internal/service"
+)
+
+// Gate is a one-shot synchronization point: attempts scripted to wait on a
+// gate block until the test releases it (or their context is cancelled).
+// Release is idempotent and safe to call from test cleanup.
+type Gate struct {
+	once sync.Once
+	ch   chan struct{}
+}
+
+// NewGate returns an unreleased gate.
+func NewGate() *Gate { return &Gate{ch: make(chan struct{})} }
+
+// Release opens the gate, unblocking every current and future Wait.
+func (g *Gate) Release() { g.once.Do(func() { close(g.ch) }) }
+
+// Wait blocks until the gate is released or ctx is cancelled.
+func (g *Gate) Wait(ctx context.Context) error {
+	select {
+	case <-g.ch:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Kind is the scripted fate of one attempt.
+type Kind int
+
+const (
+	// Run computes the shard and returns it (the healthy path).
+	Run Kind = iota
+	// Fail returns an error immediately, without computing — a dead or
+	// refusing backend.
+	Fail
+	// Die computes the shard (the work is really done) and then returns an
+	// error — a backend killed mid-shard, after burning the time but before
+	// delivering the result.
+	Die
+)
+
+// Action is the scripted fate of one attempt. The zero value is a plain
+// healthy Run.
+type Action struct {
+	Kind Kind
+	// Gate, when non-nil, is waited on before the action resolves: a gated
+	// Run models a slow (or wedged, if never released) backend, a gated
+	// Fail a slow death.
+	Gate *Gate
+	// Err overrides the error returned by Fail and Die.
+	Err error
+}
+
+// Backend is a scripted in-process sweep backend. Decide picks the fate of
+// every attempt; counters record what actually happened, so tests can assert
+// exactly which backend ran (or was denied) which shard. All methods are
+// safe for concurrent use.
+type Backend struct {
+	// BackendName is the registry/dispatch name (required, must be unique
+	// in a fleet).
+	BackendName string
+	// Service, when non-nil, runs shards under a shared service (worker
+	// budget + shard memo); otherwise shards run via expr directly.
+	Service *service.Service
+	// Decide picks the action of attempt number attempt (0-based, counted
+	// per shard on this backend). Nil means every attempt Runs.
+	Decide func(shard, attempt int) Action
+	// Capacity and draining state reported by Probe (see SetProbe).
+	mu          sync.Mutex
+	attempts    map[int]int
+	completions map[int]int
+	probeErr    error
+	capacity    int
+	draining    bool
+}
+
+// Name implements distrib.Backend.
+func (b *Backend) Name() string { return b.BackendName }
+
+// Attempts reports how many times the coordinator asked this backend to run
+// the shard.
+func (b *Backend) Attempts(shard int) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.attempts[shard]
+}
+
+// TotalAttempts reports the attempts across all shards.
+func (b *Backend) TotalAttempts() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := 0
+	for _, v := range b.attempts {
+		n += v
+	}
+	return n
+}
+
+// Completions reports how many attempts of the shard ran to successful
+// delivery on this backend.
+func (b *Backend) Completions(shard int) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.completions[shard]
+}
+
+// TotalCompletions reports the delivered shard runs across all shards.
+func (b *Backend) TotalCompletions() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := 0
+	for _, v := range b.completions {
+		n += v
+	}
+	return n
+}
+
+// SetProbe scripts the outcome of health probes: advertised capacity, drain
+// state, or a probe failure.
+func (b *Backend) SetProbe(capacity int, draining bool, err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.capacity, b.draining, b.probeErr = capacity, draining, err
+}
+
+// Probe implements distrib.HealthProber with the scripted state.
+func (b *Backend) Probe(ctx context.Context) (distrib.ProbeInfo, error) {
+	if err := ctx.Err(); err != nil {
+		return distrib.ProbeInfo{}, err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.probeErr != nil {
+		return distrib.ProbeInfo{}, b.probeErr
+	}
+	return distrib.ProbeInfo{Capacity: b.capacity, Draining: b.draining}, nil
+}
+
+// RunShard implements distrib.Backend: it resolves the scripted action of
+// this attempt and really computes the shard for Run and Die.
+func (b *Backend) RunShard(ctx context.Context, cfg expr.SweepConfig) (*expr.ShardResult, error) {
+	shard := cfg.ShardIndex
+	b.mu.Lock()
+	if b.attempts == nil {
+		b.attempts = make(map[int]int)
+		b.completions = make(map[int]int)
+	}
+	attempt := b.attempts[shard]
+	b.attempts[shard]++
+	b.mu.Unlock()
+
+	var act Action
+	if b.Decide != nil {
+		act = b.Decide(shard, attempt)
+	}
+	if act.Gate != nil {
+		if err := act.Gate.Wait(ctx); err != nil {
+			return nil, err
+		}
+	}
+	scriptedErr := func() error {
+		if act.Err != nil {
+			return act.Err
+		}
+		return fmt.Errorf("distribtest: scripted failure of %s (shard %d, attempt %d)", b.BackendName, shard, attempt)
+	}
+	if act.Kind == Fail {
+		return nil, scriptedErr()
+	}
+	sh, err := b.compute(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if act.Kind == Die {
+		return nil, scriptedErr()
+	}
+	b.mu.Lock()
+	b.completions[shard]++
+	b.mu.Unlock()
+	return sh, nil
+}
+
+// compute really runs the shard.
+func (b *Backend) compute(ctx context.Context, cfg expr.SweepConfig) (*expr.ShardResult, error) {
+	if b.Service != nil {
+		sol, err := b.Service.SweepShard(ctx, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return sol.Shard, nil
+	}
+	return expr.RunSweepShardContext(ctx, cfg)
+}

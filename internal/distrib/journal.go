@@ -1,0 +1,137 @@
+package distrib
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"repro/internal/expr"
+	"repro/internal/textio"
+)
+
+// Journal spools completed shard results to disk so an interrupted sweep can
+// resume without recomputing finished work. Layout:
+//
+//	<root>/<sweep-hash>/shard-<index>-of-<count>.json
+//
+// Each file is a strict v1 sweep response document (the exact bytes a
+// backend's POST /v1/sweep returns), keyed by the sweep's content hash
+// (textio.SweepHash — workers and shard coordinates excluded), so a resumed
+// run with a different worker count or backend fleet still finds its spooled
+// shards, while any change to the sweep itself lands in a fresh directory.
+// Writes are atomic (temp file + rename in the same directory), so a crash
+// mid-write leaves at most an ignored tmp- file, never a torn document.
+type Journal struct {
+	root string
+}
+
+// OpenJournal opens (creating if needed) a journal rooted at dir.
+func OpenJournal(dir string) (*Journal, error) {
+	if dir == "" {
+		return nil, errors.New("distrib: journal directory must not be empty")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("distrib: opening journal: %w", err)
+	}
+	return &Journal{root: dir}, nil
+}
+
+// Root returns the journal's root directory.
+func (j *Journal) Root() string { return j.root }
+
+// dir returns the spool directory of one sweep. SweepHash is lowercase hex,
+// so it is filename-safe on every platform.
+func (j *Journal) dir(hash string) string { return filepath.Join(j.root, hash) }
+
+// shardFile names the spool file of one shard.
+func shardFile(index, count int) string {
+	return fmt.Sprintf("shard-%05d-of-%05d.json", index, count)
+}
+
+// Record spools one completed shard result under the sweep's hash,
+// atomically. Recording a shard that is already spooled is a no-op (duplicate
+// completions — work-stealing races, resumed coordinators — are expected and
+// harmless: results are deterministic, so the bytes would be identical).
+func (j *Journal) Record(hash string, sh *expr.ShardResult) error {
+	if sh == nil {
+		return errors.New("distrib: journal: nil shard result")
+	}
+	if hash == "" {
+		return errors.New("distrib: journal: empty sweep hash")
+	}
+	dir := j.dir(hash)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("distrib: journal: %w", err)
+	}
+	final := filepath.Join(dir, shardFile(sh.ShardIndex, sh.ShardCount))
+	if _, err := os.Stat(final); err == nil {
+		return nil
+	}
+	tmp, err := os.CreateTemp(dir, "tmp-shard-*")
+	if err != nil {
+		return fmt.Errorf("distrib: journal: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := textio.WriteSweepResponse(tmp, textio.EncodeSweepResponse(hash, sh)); err != nil {
+		tmp.Close()
+		return fmt.Errorf("distrib: journal: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("distrib: journal: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("distrib: journal: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		return fmt.Errorf("distrib: journal: %w", err)
+	}
+	return nil
+}
+
+// Load returns the spooled shard results of one sweep partitioned into count
+// shards, keyed by shard index. A missing spool directory is an empty (not
+// failed) load. Files for a different shard count and leftover tmp- files are
+// ignored; a spool file that exists but is torn, claims the wrong hash or the
+// wrong coordinates is an error — a corrupt journal must fail loudly, not
+// silently recompute.
+func (j *Journal) Load(hash string, count int) (map[int]*expr.ShardResult, error) {
+	entries, err := os.ReadDir(j.dir(hash))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("distrib: journal: %w", err)
+	}
+	out := make(map[int]*expr.ShardResult)
+	for _, e := range entries {
+		name := e.Name()
+		var idx, n int
+		if _, err := fmt.Sscanf(name, "shard-%05d-of-%05d.json", &idx, &n); err != nil {
+			continue
+		}
+		if n != count || idx < 0 || idx >= count {
+			continue
+		}
+		f, err := os.Open(filepath.Join(j.dir(hash), name))
+		if err != nil {
+			return nil, fmt.Errorf("distrib: journal: %w", err)
+		}
+		doc, sh, err := textio.ReadSweepResponse(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("distrib: journal %s: %w", name, err)
+		}
+		if doc.SweepHash != hash {
+			return nil, fmt.Errorf("distrib: journal %s: carries sweep %s, expected %s", name, doc.SweepHash, hash)
+		}
+		if sh.ShardIndex != idx || sh.ShardCount != n {
+			return nil, fmt.Errorf("distrib: journal %s: carries shard %d/%d, expected %d/%d",
+				name, sh.ShardIndex, sh.ShardCount, idx, n)
+		}
+		out[idx] = sh
+	}
+	return out, nil
+}

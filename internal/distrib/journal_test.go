@@ -1,0 +1,144 @@
+package distrib
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/textio"
+)
+
+// journalFixture computes one real shard of the golden sweep plus its
+// content hash, so journal tests exercise the same documents a live fleet
+// spools.
+func journalFixture(t *testing.T, index, count int) (string, *expr.ShardResult) {
+	t.Helper()
+	cfg := expr.GoldenSweep()
+	cfg.ShardIndex, cfg.ShardCount = index, count
+	hash, err := textio.SweepHash(textio.EncodeSweepRequest(cfg))
+	if err != nil {
+		t.Fatalf("SweepHash: %v", err)
+	}
+	sh, err := expr.RunSweepShardContext(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("RunSweepShardContext: %v", err)
+	}
+	return hash, sh
+}
+
+func TestJournalRecordLoadRoundTrip(t *testing.T) {
+	jr, err := OpenJournal(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash, sh0 := journalFixture(t, 0, 2)
+	_, sh1 := journalFixture(t, 1, 2)
+
+	if got, err := jr.Load(hash, 2); err != nil || len(got) != 0 {
+		t.Fatalf("Load of empty journal = %v, %v; want empty, nil", got, err)
+	}
+	if err := jr.Record(hash, sh0); err != nil {
+		t.Fatalf("Record shard 0: %v", err)
+	}
+	if err := jr.Record(hash, sh0); err != nil {
+		t.Fatalf("Record must be idempotent: %v", err)
+	}
+	if err := jr.Record(hash, sh1); err != nil {
+		t.Fatalf("Record shard 1: %v", err)
+	}
+
+	got, err := jr.Load(hash, 2)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("Load returned %d shards, want 2", len(got))
+	}
+	if !reflect.DeepEqual(got[0], sh0) || !reflect.DeepEqual(got[1], sh1) {
+		t.Errorf("loaded shards differ from recorded ones")
+	}
+	// A load for a different shard count must not see these files.
+	if got, err := jr.Load(hash, 3); err != nil || len(got) != 0 {
+		t.Errorf("Load with mismatched count = %v, %v; want empty, nil", got, err)
+	}
+}
+
+func TestJournalIgnoresTempFiles(t *testing.T) {
+	jr, err := OpenJournal(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash, sh := journalFixture(t, 0, 2)
+	if err := jr.Record(hash, sh); err != nil {
+		t.Fatal(err)
+	}
+	// A crash mid-write leaves a tmp- file behind; loads must skip it.
+	tmp := filepath.Join(jr.Root(), hash, "tmp-shard-123456")
+	if err := os.WriteFile(tmp, []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := jr.Load(hash, 2)
+	if err != nil {
+		t.Fatalf("Load with leftover tmp file: %v", err)
+	}
+	if len(got) != 1 || got[0] == nil {
+		t.Fatalf("Load = %v, want just shard 0", got)
+	}
+}
+
+func TestJournalRejectsCorruptSpool(t *testing.T) {
+	jr, err := OpenJournal(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash, sh := journalFixture(t, 0, 2)
+	if err := jr.Record(hash, sh); err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(jr.Root(), hash)
+
+	// Torn document in a correctly-named file: loud error, not a silent skip.
+	if err := os.WriteFile(filepath.Join(dir, shardFile(1, 2)), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := jr.Load(hash, 2); err == nil {
+		t.Errorf("Load must reject a torn spool file")
+	}
+	if err := os.Remove(filepath.Join(dir, shardFile(1, 2))); err != nil {
+		t.Fatal(err)
+	}
+
+	// A spool file carrying a different sweep's hash must be rejected.
+	data, err := os.ReadFile(filepath.Join(dir, shardFile(0, 2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	alien := strings.Replace(string(data), hash, strings.Repeat("0", len(hash)), 1)
+	if err := os.WriteFile(filepath.Join(dir, shardFile(0, 2)), []byte(alien), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := jr.Load(hash, 2); err == nil || !strings.Contains(err.Error(), "carries sweep") {
+		t.Errorf("Load with foreign hash = %v, want 'carries sweep' error", err)
+	}
+}
+
+func TestOpenJournalValidation(t *testing.T) {
+	if _, err := OpenJournal(""); err == nil {
+		t.Errorf("OpenJournal(\"\") must fail")
+	}
+	dir := filepath.Join(t.TempDir(), "nested", "spool")
+	jr, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatalf("OpenJournal must create nested directories: %v", err)
+	}
+	if jr.Root() != dir {
+		t.Errorf("Root() = %q, want %q", jr.Root(), dir)
+	}
+	if err := jr.Record("deadbeef", nil); err == nil {
+		t.Errorf("Record(nil) must fail")
+	}
+}

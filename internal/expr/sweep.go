@@ -291,6 +291,50 @@ type ShardResult struct {
 	Results []GraphResult
 }
 
+// ValidateShardResult checks a shard result against the config's shard
+// coordinates: the result must claim the same (ShardIndex, ShardCount) and
+// cover exactly the graphs the stable shard assignment puts in that shard —
+// no foreign graphs, no duplicates, no gaps. A coordinator runs every result
+// received from a backend (or reloaded from a journal) through this check
+// before accepting it, so a truncated, foreign or corrupted partial result is
+// rejected at the source instead of surfacing later as a MergeCells coverage
+// error attributed to the wrong shard.
+func (c SweepConfig) ValidateShardResult(sh *ShardResult) error {
+	c = c.Normalize()
+	if sh == nil {
+		return fmt.Errorf("expr: nil shard result")
+	}
+	if err := c.ValidateShard(); err != nil {
+		return err
+	}
+	if err := c.validateGrid(); err != nil {
+		return err
+	}
+	if sh.ShardIndex != c.ShardIndex || sh.ShardCount != c.ShardCount {
+		return fmt.Errorf("expr: shard result claims shard %d/%d; want %d/%d",
+			sh.ShardIndex, sh.ShardCount, c.ShardIndex, c.ShardCount)
+	}
+	jobs := c.shardJobs()
+	missing := make(map[sweepJob]bool, len(jobs))
+	for _, j := range jobs {
+		missing[j] = true
+	}
+	for i := range sh.Results {
+		res := &sh.Results[i]
+		j := sweepJob{nodes: res.Nodes, paths: res.Paths, index: res.Index}
+		if !missing[j] {
+			return fmt.Errorf("expr: shard %d/%d result covers graph (%d nodes, %d paths, index %d) outside the shard, or twice",
+				c.ShardIndex, c.ShardCount, res.Nodes, res.Paths, res.Index)
+		}
+		delete(missing, j)
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("expr: shard %d/%d result covers %d of %d graphs",
+			c.ShardIndex, c.ShardCount, len(jobs)-len(missing), len(jobs))
+	}
+	return nil
+}
+
 // RunSweepShard executes one shard of the sweep and returns the raw
 // per-graph results. See RunSweepShardContext.
 func RunSweepShard(cfg SweepConfig) (*ShardResult, error) {

@@ -1,0 +1,142 @@
+package httpserver
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/textio"
+)
+
+func getProgress(t *testing.T, url string) *textio.SweepProgressDoc {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/sweep/progress")
+	if err != nil {
+		t.Fatalf("GET /v1/sweep/progress: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("progress status %d", resp.StatusCode)
+	}
+	doc, err := textio.ReadSweepProgress(resp.Body)
+	if err != nil {
+		t.Fatalf("ReadSweepProgress: %v", err)
+	}
+	return doc
+}
+
+// TestSweepProgressEndpoint pins the coordinator-facing progress feed: empty
+// before any sweep, and after a shard completes it reports that shard (and
+// its graphs) done — including when a rerun is answered from the memo.
+func TestSweepProgressEndpoint(t *testing.T) {
+	ts := testServer(t)
+	if doc := getProgress(t, ts.URL); len(doc.Sweeps) != 0 {
+		t.Fatalf("progress before any sweep = %+v, want empty", doc.Sweeps)
+	}
+
+	cfg := expr.GoldenSweep()
+	cfg.ShardCount = 2 // shard 0 of 2
+	body := sweepRequestBody(t, cfg)
+	if resp, out := postJSON(t, ts.URL+"/v1/sweep", body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep status %d: %s", resp.StatusCode, out)
+	}
+
+	doc := getProgress(t, ts.URL)
+	if len(doc.Sweeps) != 1 {
+		t.Fatalf("progress after one shard = %+v, want one sweep", doc.Sweeps)
+	}
+	got := doc.Sweeps[0]
+	wantGraphs := cfg.ShardSize()
+	if got.ShardCount != 2 || got.ShardsDone != 1 || got.ShardsRunning != 0 {
+		t.Fatalf("progress entry = %+v, want 1/2 shards done, none running", got)
+	}
+	if got.GraphsDone != wantGraphs || got.GraphsTotal != wantGraphs {
+		t.Fatalf("progress entry graphs = %d/%d, want %d/%d", got.GraphsDone, got.GraphsTotal, wantGraphs, wantGraphs)
+	}
+
+	// A memo-served rerun of the same shard must not regress the counters.
+	if resp, out := postJSON(t, ts.URL+"/v1/sweep", body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("rerun sweep status %d: %s", resp.StatusCode, out)
+	}
+	doc = getProgress(t, ts.URL)
+	if len(doc.Sweeps) != 1 || doc.Sweeps[0].ShardsDone != 1 {
+		t.Fatalf("progress after memo rerun = %+v, want unchanged 1/2 done", doc.Sweeps)
+	}
+}
+
+// TestSweepProgressWatch: &watch=1 streams NDJSON snapshots; the first one
+// arrives immediately and the stream ends when the client goes away.
+func TestSweepProgressWatch(t *testing.T) {
+	ts := testServer(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/v1/sweep/progress?watch=1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("GET watch: %v", err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get("Content-Type"); got != "application/x-ndjson" {
+		t.Fatalf("watch Content-Type = %q, want application/x-ndjson", got)
+	}
+	line, err := bufio.NewReader(resp.Body).ReadBytes('\n')
+	if err != nil {
+		t.Fatalf("reading first watch snapshot: %v", err)
+	}
+	doc, err := textio.ReadSweepProgress(bytes.NewReader(line))
+	if err != nil {
+		t.Fatalf("first watch snapshot: %v", err)
+	}
+	if len(doc.Sweeps) != 0 {
+		t.Fatalf("first snapshot = %+v, want empty", doc.Sweeps)
+	}
+	cancel() // hang up; the handler must notice and stop streaming
+}
+
+// TestDrainEndpoint: POST /v1/drain flips /healthz to "draining" (what the
+// sweep registry's prober watches), and ?resume=1 flips it back.
+func TestDrainEndpoint(t *testing.T) {
+	ts := testServer(t)
+	health := func() string {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatalf("GET /healthz: %v", err)
+		}
+		defer resp.Body.Close()
+		var doc healthDoc
+		if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+			t.Fatalf("decode healthz: %v", err)
+		}
+		return doc.Status
+	}
+	if got := health(); got != "ok" {
+		t.Fatalf("initial health = %q", got)
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/drain", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("drain status %d: %s", resp.StatusCode, body)
+	}
+	var dd struct {
+		Status string `json:"status"`
+	}
+	if err := json.Unmarshal(body, &dd); err != nil || dd.Status != "draining" {
+		t.Fatalf("drain response = %s (%v), want status draining", body, err)
+	}
+	if got := health(); got != "draining" {
+		t.Fatalf("health after drain = %q, want draining", got)
+	}
+	if resp, body := postJSON(t, ts.URL+"/v1/drain?resume=1", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("resume status %d: %s", resp.StatusCode, body)
+	}
+	if got := health(); got != "ok" {
+		t.Fatalf("health after resume = %q, want ok", got)
+	}
+}

@@ -17,7 +17,15 @@
 //	                              the paper's structural parameters
 //	POST /v1/sweep?workers=N      execute one shard of a Fig. 5/6 sweep and
 //	                              return the raw per-graph results
-//	GET  /healthz                 liveness plus service counters
+//	GET  /v1/sweep/progress       completion counts of the sweeps this server
+//	                              worked on; &watch=1 streams one compact JSON
+//	                              snapshot per change (NDJSON) until the client
+//	                              disconnects
+//	POST /v1/drain                finish in-flight work but advertise
+//	                              "draining" on /healthz so registries stop
+//	                              dispatching here; &resume=1 reverts
+//	GET  /healthz                 liveness plus service counters ("draining"
+//	                              after POST /v1/drain)
 //
 // Every error is reported as a JSON envelope {"error":{"status":...,
 // "message":...}}. The per-request ?workers= limit is clamped by the global
@@ -33,6 +41,7 @@ import (
 	"net/http"
 	"slices"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -50,6 +59,7 @@ type Server struct {
 	genCache *gen.Cache
 	maxBody  int64
 	start    time.Time
+	draining atomic.Bool
 }
 
 // New builds a Server around a fresh service. maxBody bounds the accepted
@@ -79,6 +89,8 @@ func (s *Server) Routes(logger *log.Logger) http.Handler {
 	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
 	mux.HandleFunc("POST /v1/generate", s.handleGenerate)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("GET /v1/sweep/progress", s.handleSweepProgress)
+	mux.HandleFunc("POST /v1/drain", s.handleDrain)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	if logger == nil {
 		return mux
@@ -236,6 +248,83 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// progressDoc snapshots the service's sweep progress in document form.
+func (s *Server) progressDoc() *textio.SweepProgressDoc {
+	doc := &textio.SweepProgressDoc{
+		Version: textio.ProblemVersion,
+		Sweeps:  []textio.SweepProgressEntryDoc{},
+	}
+	for _, p := range s.svc.SweepProgress() {
+		doc.Sweeps = append(doc.Sweeps, textio.SweepProgressEntryDoc{
+			SweepHash:     p.SweepHash,
+			ShardCount:    p.ShardCount,
+			ShardsRunning: p.ShardsRunning,
+			ShardsDone:    p.ShardsDone,
+			GraphsDone:    p.GraphsDone,
+			GraphsTotal:   p.GraphsTotal,
+		})
+	}
+	return doc
+}
+
+// handleSweepProgress reports the completion counts of the sweeps this server
+// has worked on. Without parameters it returns one snapshot; with ?watch=1 it
+// streams a compact JSON snapshot per progress change (newline-delimited)
+// until the client disconnects — the tail a coordinator or operator follows
+// during a long sweep.
+func (s *Server) handleSweepProgress(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("watch") == "" {
+		writeJSON(w, http.StatusOK, s.progressDoc())
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, errors.New("streaming requires a flushable connection"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	for {
+		// Fetch the change channel before snapshotting, so an update landing
+		// between snapshot and select wakes the loop instead of being missed.
+		change := s.svc.SweepProgressChanged()
+		if err := enc.Encode(s.progressDoc()); err != nil {
+			return
+		}
+		fl.Flush()
+		select {
+		case <-r.Context().Done():
+			return
+		case <-change:
+		}
+	}
+}
+
+// drainDoc is the response of POST /v1/drain.
+type drainDoc struct {
+	Status string `json:"status"`
+}
+
+// handleDrain switches the server into (or with ?resume=1, out of) drain
+// mode: in-flight and even new requests are still served — draining is
+// advisory — but /healthz advertises "draining", so a probing registry stops
+// offering this backend new shards while it finishes what it has.
+func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	resume := r.URL.Query().Get("resume") != ""
+	s.draining.Store(!resume)
+	doc := &drainDoc{Status: "draining"}
+	if resume {
+		doc.Status = "ok"
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+// SetDraining flips the server's drain flag programmatically — what cpgserve
+// does on SIGINT/SIGTERM so probing registries see "draining" during the
+// graceful-shutdown window instead of a hard disappearance.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
 // activationDoc is one activated activity of a simulated trace.
 type activationDoc struct {
 	Name  string `json:"name"`
@@ -373,8 +462,12 @@ type healthDoc struct {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	st := s.svc.Stats()
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
 	doc := &healthDoc{
-		Status:   "ok",
+		Status:   status,
 		UptimeMs: time.Since(s.start).Milliseconds(),
 		Requests: st.Requests,
 		Workers:  st.Workers,

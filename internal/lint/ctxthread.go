@@ -9,7 +9,7 @@ import (
 
 // defaultCtxThreadPkgs are the long-running packages: the scheduling core and
 // everything that fans work out across goroutines, shards or backends.
-const defaultCtxThreadPkgs = "core,service,expr,distrib"
+const defaultCtxThreadPkgs = "core,service,expr,distrib,distribtest"
 
 var ctxThreadScope = newPkgScope(defaultCtxThreadPkgs)
 

@@ -8,24 +8,30 @@ import (
 )
 
 // defaultNoWallClockPkgs is the deterministic core plus the satellite
-// packages whose outputs feed pinned tables and reports.
-const defaultNoWallClockPkgs = "cond,cpg,listsched,sched,table,sim,expr,gen,core,atm,stats,memo"
+// packages whose outputs feed pinned tables and reports, and the sweep
+// fleet (distrib, distribtest) whose merged CSVs are pinned golden: there,
+// probe tickers and retry-backoff timers are the only sanctioned wall-clock
+// pacing and each carries a documented allow.
+const defaultNoWallClockPkgs = "cond,cpg,listsched,sched,table,sim,expr,gen,core,atm,stats,memo,distrib,distribtest"
 
 var noWallClockScope = newPkgScope(defaultNoWallClockPkgs)
 
-// NoWallClock forbids the three ambient-state reads that break same-input
+// NoWallClock forbids the ambient-state reads that break same-input
 // same-bytes reproducibility in the deterministic core:
 //
 //   - time.Now (wall clock),
+//   - timer-driven pacing (time.Sleep, time.After, time.AfterFunc,
+//     time.Tick, time.NewTicker, time.NewTimer),
 //   - the global math/rand source (rand.Intn, rand.Shuffle, ... — seeded
 //     *rand.Rand values built with rand.New(rand.NewSource(seed)) are fine),
 //   - the process environment (os.Getenv, os.LookupEnv, os.Environ).
 //
-// Genuine exceptions — e.g. a documented wall-clock budget — must carry a
-// //lint:allow nowallclock directive with a reason.
+// Genuine exceptions — a documented wall-clock budget, a liveness-probe
+// ticker, a retry-backoff timer — must carry a //lint:allow nowallclock
+// directive with a reason.
 var NoWallClock = &analysis.Analyzer{
 	Name: "nowallclock",
-	Doc: "forbid time.Now, global math/rand and environment reads in the deterministic core\n\n" +
+	Doc: "forbid time.Now, timers, global math/rand and environment reads in the deterministic core\n\n" +
 		"Scoped by package name via -nowallclock.pkgs (default " + defaultNoWallClockPkgs + ").",
 	Run: runNoWallClock,
 }
@@ -65,9 +71,14 @@ func runNoWallClock(pass *analysis.Pass) (any, error) {
 			}
 			switch obj.Pkg().Path() {
 			case "time":
-				if obj.Name() == "Now" {
+				switch obj.Name() {
+				case "Now":
 					reportf(pass, allows, sel.Pos(),
 						"time.Now in the deterministic core: wall-clock reads make runs irreproducible (nowallclock)")
+				case "Sleep", "After", "AfterFunc", "Tick", "NewTicker", "NewTimer":
+					reportf(pass, allows, sel.Pos(),
+						"time.%s in the deterministic core: timer-driven pacing is wall-clock state; if the timing is genuinely operational (probe cadence, retry backoff), document it with a lint:allow (nowallclock)",
+						obj.Name())
 				}
 			case "math/rand", "math/rand/v2":
 				if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() == nil &&

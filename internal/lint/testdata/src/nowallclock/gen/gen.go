@@ -58,3 +58,36 @@ func MissingReason() int64 {
 	//lint:allow nowallclock // want "lint:allow nowallclock needs a reason"
 	return time.Now().UnixNano() // want "time.Now in the deterministic core"
 }
+
+// Pace sleeps: timer-driven pacing is wall-clock state.
+func Pace() {
+	time.Sleep(time.Millisecond) // want "time.Sleep in the deterministic core"
+}
+
+// Poll builds a ticker without a documented reason.
+func Poll() *time.Ticker {
+	return time.NewTicker(time.Second) // want "time.NewTicker in the deterministic core"
+}
+
+// Defer arms an undocumented timer callback.
+func Defer(f func()) *time.Timer {
+	return time.AfterFunc(time.Second, f) // want "time.AfterFunc in the deterministic core"
+}
+
+// Expire uses the channel-timer variants.
+func Expire() <-chan time.Time {
+	return time.After(time.Second) // want "time.After in the deterministic core"
+}
+
+// ProbeTickerAllowed mirrors the registry's liveness-probe ticker: pacing
+// that is operational by contract carries a documented allow.
+func ProbeTickerAllowed() *time.Ticker {
+	//lint:allow nowallclock liveness-probe ticker: probe cadence is operational pacing, never part of a pinned deterministic output
+	return time.NewTicker(time.Second)
+}
+
+// BackoffTimerAllowed mirrors the coordinator's retry-backoff timer.
+func BackoffTimerAllowed(f func()) *time.Timer {
+	//lint:allow nowallclock retry-backoff timer: pacing between attempts only, never observed by any deterministic output
+	return time.AfterFunc(time.Second, f)
+}

@@ -1,0 +1,198 @@
+package service
+
+import "sync"
+
+// maxTrackedSweeps bounds the progress tracker: a long-lived server sees an
+// unbounded stream of distinct sweeps, so the oldest entry is dropped when a
+// new sweep would exceed the cap (the same recency policy as the memos, over
+// sweeps instead of shards).
+const maxTrackedSweeps = 64
+
+// SweepProgress is the completion state of one sweep this service has worked
+// on. Counts cover only the shards this service was asked to run — in a
+// distributed sweep each backend reports its own share, and the coordinator
+// (or an operator polling /v1/sweep/progress) sums entries by hash.
+type SweepProgress struct {
+	// SweepHash identifies the sweep (textio.SweepHash of its requests).
+	SweepHash string
+	// ShardCount is the partition the sweep's shard requests declared.
+	ShardCount int
+	// ShardsRunning and ShardsDone count in-flight and completed shard
+	// requests (a failed or cancelled shard leaves both).
+	ShardsRunning int
+	ShardsDone    int
+	// GraphsDone and GraphsTotal aggregate per-graph progress across this
+	// service's shards of the sweep, so watchers see movement inside
+	// long-running shards.
+	GraphsDone  int
+	GraphsTotal int
+}
+
+// shardProgress tracks one shard of one sweep.
+type shardProgress struct {
+	running  int // concurrent requests for this shard (retries, steals)
+	finished bool
+	done     int // graphs completed by the current (or final) run
+	total    int // graphs in the shard
+}
+
+// sweepProgress tracks one sweep.
+type sweepProgress struct {
+	shardCount int
+	shards     map[int]*shardProgress
+}
+
+// sweepTracker aggregates sweep progress for a service. The zero value is
+// ready to use; all methods are safe for concurrent use.
+type sweepTracker struct {
+	mu     sync.Mutex
+	byHash map[string]*sweepProgress
+	order  []string      // insertion order, oldest first
+	change chan struct{} // closed and replaced on every update
+}
+
+// broadcastLocked wakes everyone waiting on Changed. Callers hold t.mu.
+func (t *sweepTracker) broadcastLocked() {
+	if t.change != nil {
+		close(t.change)
+		t.change = nil
+	}
+}
+
+// Changed returns a channel that is closed at the next progress update, so a
+// streaming endpoint can push fresh snapshots without polling. Fetch the
+// channel before taking a snapshot: an update after the fetch closes the
+// returned channel, so no change is missed.
+func (t *sweepTracker) Changed() <-chan struct{} {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.change == nil {
+		t.change = make(chan struct{})
+	}
+	return t.change
+}
+
+// sweepLocked returns (creating if needed, evicting the oldest entry at the
+// cap) the tracked state of one sweep. Callers hold t.mu.
+func (t *sweepTracker) sweepLocked(hash string, shardCount int) *sweepProgress {
+	sp, ok := t.byHash[hash]
+	if !ok {
+		if t.byHash == nil {
+			t.byHash = make(map[string]*sweepProgress)
+		}
+		for len(t.order) >= maxTrackedSweeps {
+			delete(t.byHash, t.order[0])
+			t.order = t.order[1:]
+		}
+		sp = &sweepProgress{shards: make(map[int]*shardProgress)}
+		t.byHash[hash] = sp
+		t.order = append(t.order, hash)
+	}
+	sp.shardCount = shardCount
+	return sp
+}
+
+// shardLocked returns (creating if needed) the tracked state of one shard.
+// Callers hold t.mu.
+func (t *sweepTracker) shardLocked(hash string, index, count int) *shardProgress {
+	sp := t.sweepLocked(hash, count)
+	st, ok := sp.shards[index]
+	if !ok {
+		st = &shardProgress{}
+		sp.shards[index] = st
+	}
+	return st
+}
+
+// start records an admitted shard run of total graphs.
+func (t *sweepTracker) start(hash string, index, count, total int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := t.shardLocked(hash, index, count)
+	st.running++
+	st.total = total
+	if !st.finished {
+		st.done = 0
+	}
+	t.broadcastLocked()
+}
+
+// graph records per-graph progress of a running shard.
+func (t *sweepTracker) graph(hash string, index, done, total int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sp := t.byHash[hash]
+	if sp == nil {
+		return // evicted under the cap while running
+	}
+	st := sp.shards[index]
+	if st == nil || st.finished {
+		return
+	}
+	if done > st.done {
+		st.done = done
+	}
+	st.total = total
+	t.broadcastLocked()
+}
+
+// finish records the end of a shard run; ok reports whether it completed (a
+// failed or cancelled run contributes nothing).
+func (t *sweepTracker) finish(hash string, index int, ok bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sp := t.byHash[hash]
+	if sp == nil {
+		return
+	}
+	st := sp.shards[index]
+	if st == nil {
+		return
+	}
+	if st.running > 0 {
+		st.running--
+	}
+	switch {
+	case ok:
+		st.finished = true
+		st.done = st.total
+	case !st.finished && st.running == 0:
+		st.done = 0
+	}
+	t.broadcastLocked()
+}
+
+// completed records a shard answered instantly (memo hit): done without ever
+// being observed running.
+func (t *sweepTracker) completed(hash string, index, count, total int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := t.shardLocked(hash, index, count)
+	st.finished = true
+	st.total = total
+	st.done = total
+	t.broadcastLocked()
+}
+
+// snapshot returns the tracked sweeps oldest-first.
+func (t *sweepTracker) snapshot() []SweepProgress {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SweepProgress, 0, len(t.order))
+	for _, hash := range t.order {
+		sp := t.byHash[hash]
+		p := SweepProgress{SweepHash: hash, ShardCount: sp.shardCount}
+		// Commutative integer sums, so the map iteration order cannot leak
+		// into the snapshot.
+		for _, st := range sp.shards {
+			if st.finished {
+				p.ShardsDone++
+			}
+			p.ShardsRunning += st.running
+			p.GraphsDone += st.done
+			p.GraphsTotal += st.total
+		}
+		out = append(out, p)
+	}
+	return out
+}

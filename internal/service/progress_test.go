@@ -1,0 +1,84 @@
+package service
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/textio"
+)
+
+// TestSweepProgressTracksShards pins the progress tracker through the public
+// SweepShard path: shards flip to done with their graph counts, a change
+// notification fires, and memo-served reruns keep the counters monotonic.
+func TestSweepProgressTracksShards(t *testing.T) {
+	svc := mustNew(t, Config{Workers: 2})
+	if got := svc.SweepProgress(); len(got) != 0 {
+		t.Fatalf("progress before any sweep = %+v, want empty", got)
+	}
+	change := svc.SweepProgressChanged()
+
+	cfg := expr.GoldenSweep()
+	cfg.ShardIndex, cfg.ShardCount = 0, 2
+	hash, err := textio.SweepHash(textio.EncodeSweepRequest(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.SweepShard(context.Background(), cfg); err != nil {
+		t.Fatalf("SweepShard: %v", err)
+	}
+	select {
+	case <-change:
+	default:
+		t.Fatalf("running a shard must fire the progress change notification")
+	}
+
+	progress := svc.SweepProgress()
+	if len(progress) != 1 {
+		t.Fatalf("progress = %+v, want one sweep", progress)
+	}
+	got := progress[0]
+	wantGraphs := cfg.ShardSize()
+	if got.SweepHash != hash {
+		t.Errorf("progress sweep hash = %s, want %s", got.SweepHash, hash)
+	}
+	if got.ShardCount != 2 || got.ShardsDone != 1 || got.ShardsRunning != 0 {
+		t.Errorf("progress after shard 0 = %+v, want 1/2 done, none running", got)
+	}
+	if got.GraphsDone != wantGraphs || got.GraphsTotal != wantGraphs {
+		t.Errorf("graphs = %d/%d, want %d/%d", got.GraphsDone, got.GraphsTotal, wantGraphs, wantGraphs)
+	}
+
+	// The second shard of the same sweep accumulates into the same entry.
+	cfg.ShardIndex = 1
+	if _, err := svc.SweepShard(context.Background(), cfg); err != nil {
+		t.Fatalf("SweepShard 1: %v", err)
+	}
+	progress = svc.SweepProgress()
+	if len(progress) != 1 || progress[0].ShardsDone != 2 {
+		t.Fatalf("progress after both shards = %+v, want 2/2 done in one entry", progress)
+	}
+	total := progress[0].GraphsDone
+
+	// Memo-served rerun: shard stays done, nothing double-counts.
+	if _, err := svc.SweepShard(context.Background(), cfg); err != nil {
+		t.Fatalf("memo rerun: %v", err)
+	}
+	progress = svc.SweepProgress()
+	if progress[0].ShardsDone != 2 || progress[0].GraphsDone != total {
+		t.Fatalf("progress after memo rerun = %+v, want unchanged", progress[0])
+	}
+}
+
+// TestSweepProgressEviction: the tracker is bounded; old sweeps fall off
+// once more than maxTrackedSweeps distinct sweeps have been seen.
+func TestSweepProgressEviction(t *testing.T) {
+	var tr sweepTracker
+	for i := 0; i < maxTrackedSweeps+5; i++ {
+		tr.start(string(rune('a'+i%26))+string(rune('0'+i/26)), 0, 1, 1)
+		tr.finish(string(rune('a'+i%26))+string(rune('0'+i/26)), 0, true)
+	}
+	if got := len(tr.snapshot()); got != maxTrackedSweeps {
+		t.Fatalf("tracked sweeps = %d, want capped at %d", got, maxTrackedSweeps)
+	}
+}

@@ -107,6 +107,7 @@ type Service struct {
 	sweeps    *memo.LRU[*expr.ShardResult]
 	requests  atomic.Int64
 	sweepReqs atomic.Int64
+	progress  sweepTracker
 }
 
 // New returns a Service with the given budget and memo capacity. A negative
@@ -309,11 +310,13 @@ func (s *Service) SweepShard(ctx context.Context, cfg expr.SweepConfig) (*SweepS
 		return nil, err
 	}
 	key := fmt.Sprintf("%s:%d/%d", hash, cfg.ShardIndex, cfg.ShardCount)
+	total := cfg.ShardSize()
 	// Like Schedule: a wall-clock tabu budget makes results timing-dependent,
 	// so budgeted runs stay out of the memo in both directions.
 	memoizable := cfg.Options.StrategyParams.Budget <= 0
 	if memoizable {
 		if sh, ok := s.sweeps.Get(key); ok {
+			s.progress.completed(hash, cfg.ShardIndex, cfg.ShardCount, total)
 			return &SweepSolution{Shard: sh, SweepHash: hash, CacheHit: true}, nil
 		}
 	}
@@ -324,8 +327,8 @@ func (s *Service) SweepShard(ctx context.Context, cfg expr.SweepConfig) (*SweepS
 	// Tokens beyond the shard's graph count would sit idle while starving
 	// concurrent requests, so don't grab them in the first place (one token
 	// minimum: every admitted request holds at least one).
-	if lim := cfg.ShardSize(); want > lim {
-		want = max(lim, 1)
+	if want > total {
+		want = max(total, 1)
 	}
 	granted, err := s.acquire(ctx, want)
 	if err != nil {
@@ -333,14 +336,40 @@ func (s *Service) SweepShard(ctx context.Context, cfg expr.SweepConfig) (*SweepS
 	}
 	defer s.releaseTokens(granted)
 	cfg.Workers = granted
+	s.progress.start(hash, cfg.ShardIndex, cfg.ShardCount, total)
+	finished := false
+	defer func() { s.progress.finish(hash, cfg.ShardIndex, finished) }()
+	prev, shardIdx := cfg.Progress, cfg.ShardIndex
+	cfg.Progress = func(done, total int) {
+		s.progress.graph(hash, shardIdx, done, total)
+		if prev != nil {
+			prev(done, total)
+		}
+	}
 	sh, err := expr.RunSweepShardContext(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
+	finished = true
 	if memoizable {
 		s.sweeps.Add(key, sh)
 	}
 	return &SweepSolution{Shard: sh, SweepHash: hash, Workers: granted}, nil
+}
+
+// SweepProgress returns the completion state of every sweep this service has
+// worked on, oldest first (at most maxTrackedSweeps entries; older sweeps are
+// dropped).
+func (s *Service) SweepProgress() []SweepProgress {
+	return s.progress.snapshot()
+}
+
+// SweepProgressChanged returns a channel closed at the next sweep progress
+// update, so a streaming endpoint can push fresh snapshots without polling.
+// Fetch the channel before calling SweepProgress: an update after the fetch
+// closes the returned channel, so no change is missed.
+func (s *Service) SweepProgressChanged() <-chan struct{} {
+	return s.progress.Changed()
 }
 
 // maxUsefulWorkers bounds the parallelism a problem can exploit: the path

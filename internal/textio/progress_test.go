@@ -1,0 +1,42 @@
+package textio
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestSweepProgressRoundTrip(t *testing.T) {
+	doc := &SweepProgressDoc{
+		Version: ProblemVersion,
+		Sweeps: []SweepProgressEntryDoc{
+			{SweepHash: "ab12", ShardCount: 4, ShardsRunning: 1, ShardsDone: 2, GraphsDone: 9, GraphsTotal: 12},
+			{SweepHash: "cd34", ShardCount: 1, ShardsDone: 1, GraphsDone: 3, GraphsTotal: 3},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteSweepProgress(&buf, doc); err != nil {
+		t.Fatalf("WriteSweepProgress: %v", err)
+	}
+	got, err := ReadSweepProgress(&buf)
+	if err != nil {
+		t.Fatalf("ReadSweepProgress: %v", err)
+	}
+	if !reflect.DeepEqual(got, doc) {
+		t.Fatalf("round trip mismatch:\n%+v\nvs\n%+v", got, doc)
+	}
+}
+
+func TestSweepProgressRejects(t *testing.T) {
+	cases := map[string]string{
+		"unknown field": `{"version":"v1","sweeps":[],"bogus":1}`,
+		"bad version":   `{"version":"v9","sweeps":[]}`,
+		"trailing doc":  `{"version":"v1","sweeps":[]}{"version":"v1"}`,
+	}
+	for name, body := range cases {
+		if _, err := ReadSweepProgress(strings.NewReader(body)); err == nil {
+			t.Errorf("%s: ReadSweepProgress accepted %s", name, body)
+		}
+	}
+}

@@ -270,3 +270,48 @@ func ReadSweepResponse(r io.Reader) (*SweepResponseDoc, *expr.ShardResult, error
 func WriteSweepResponse(w io.Writer, d *SweepResponseDoc) error {
 	return writeIndented(w, d)
 }
+
+// SweepProgressEntryDoc is the completion state of one sweep a service has
+// seen, keyed by its content hash. Graph counts are cumulative over every
+// shard of the sweep the service worked on; a coordinator polling several
+// backends sums entries with the same hash.
+type SweepProgressEntryDoc struct {
+	SweepHash string `json:"sweepHash"`
+	// ShardCount is the partition the sweep's shard requests declared.
+	ShardCount int `json:"shardCount"`
+	// ShardsRunning and ShardsDone count this server's in-flight and
+	// completed shard requests for the sweep (failed or cancelled shards
+	// leave both).
+	ShardsRunning int `json:"shardsRunning"`
+	ShardsDone    int `json:"shardsDone"`
+	// GraphsDone and GraphsTotal aggregate per-graph progress across this
+	// server's shards of the sweep, so a watcher sees movement inside
+	// long-running shards, not just at their boundaries.
+	GraphsDone  int `json:"graphsDone"`
+	GraphsTotal int `json:"graphsTotal"`
+}
+
+// SweepProgressDoc is the versioned response of GET /v1/sweep/progress: one
+// entry per sweep the server has worked on, oldest first.
+type SweepProgressDoc struct {
+	Version string                  `json:"version"`
+	Sweeps  []SweepProgressEntryDoc `json:"sweeps"`
+}
+
+// ReadSweepProgress parses a v1 sweep progress document, rejecting unknown
+// fields, unsupported versions and trailing data.
+func ReadSweepProgress(r io.Reader) (*SweepProgressDoc, error) {
+	var d SweepProgressDoc
+	if err := readStrict(r, &d); err != nil {
+		return nil, err
+	}
+	if d.Version != ProblemVersion {
+		return nil, fmt.Errorf("textio: unsupported sweep progress version %q (this build understands %q)", d.Version, ProblemVersion)
+	}
+	return &d, nil
+}
+
+// WriteSweepProgress writes a sweep progress document as indented JSON.
+func WriteSweepProgress(w io.Writer, d *SweepProgressDoc) error {
+	return writeIndented(w, d)
+}

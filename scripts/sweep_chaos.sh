@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# Chaos smoke for the fault-tolerant sweep fleet, end to end over real
+# processes:
+#
+#   1. Backend churn: run the golden mini-sweep against two cpgserve
+#      backends, hard-kill one right after the sweep starts, restart it
+#      mid-sweep, and require the merged CSV to still be byte-identical to
+#      testdata/sweep_golden.csv (retry + health probes carry the sweep).
+#   2. Coordinator restart: run the sweep with a journal, then replay a
+#      coordinator that was killed mid-sweep by deleting two spooled shards
+#      and rerunning the same command — the restart must report reusing the
+#      journaled shards, re-dispatch only the missing ones, and reproduce
+#      the golden CSV.
+#
+# The deterministic versions of these scenarios (plus work-stealing and
+# late-joining backends) live in internal/distrib/distribtest; this script
+# checks that the same guarantees hold over real sockets and processes.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR_A="127.0.0.1:${CPGCHAOS_PORT_A:-8380}"
+ADDR_B="127.0.0.1:${CPGCHAOS_PORT_B:-8381}"
+BIN="$(mktemp -d)"
+go build -o "$BIN/cpgserve" ./cmd/cpgserve
+go build -o "$BIN/cpgexper" ./cmd/cpgexper
+
+PIDS=()
+trap 'kill "${PIDS[@]}" 2>/dev/null || true' EXIT
+
+start_backend() { # addr -> pid on stdout
+  # Detach the server from this function's stdout, or the command
+  # substitution at the call site would wait for the server to exit.
+  "$BIN/cpgserve" -addr "$1" -workers 2 >/dev/null 2>&1 &
+  echo $!
+}
+
+wait_healthy() { # addr
+  for _ in $(seq 1 50); do
+    if curl -fsS "http://$1/healthz" >/dev/null 2>&1; then
+      return 0
+    fi
+    sleep 0.1
+  done
+  echo "chaos smoke FAILED: backend $1 never became healthy" >&2
+  exit 1
+}
+
+OUT="$(mktemp -d)"
+SWEEP_FLAGS=(-exp sweep -nodes 60,80 -paths 10,12 -graphs 3 -seed 7 -zero-times)
+
+# --- Phase 1: hard-kill and restart a live backend mid-sweep. -------------
+PID_A=$(start_backend "$ADDR_A"); PIDS+=("$PID_A")
+PID_B=$(start_backend "$ADDR_B"); PIDS+=("$PID_B")
+wait_healthy "$ADDR_A"
+wait_healthy "$ADDR_B"
+
+"$BIN/cpgexper" "${SWEEP_FLAGS[@]}" -shards 6 \
+  -remote "http://$ADDR_A,http://$ADDR_B" -probe-interval 100ms \
+  > "$OUT/churn.csv" 2> "$OUT/churn.log" &
+EXPER=$!
+sleep 0.05
+kill -9 "$PID_B" 2>/dev/null || true # no drain: simulate a crashed process
+sleep 0.2
+PID_B=$(start_backend "$ADDR_B"); PIDS+=("$PID_B") # and it comes back
+if ! wait "$EXPER"; then
+  echo "chaos smoke FAILED: sweep did not survive a backend kill+restart" >&2
+  sed 's/^/  coordinator: /' "$OUT/churn.log" >&2
+  exit 1
+fi
+diff -u testdata/sweep_golden.csv "$OUT/churn.csv" || {
+  echo "chaos smoke FAILED: CSV after backend churn differs from golden" >&2
+  exit 1
+}
+
+# --- Phase 2: restart the coordinator from its journal. -------------------
+JDIR="$(mktemp -d)"
+"$BIN/cpgexper" "${SWEEP_FLAGS[@]}" -shards 4 -remote "http://$ADDR_A" \
+  -journal "$JDIR" > "$OUT/full.csv" 2> /dev/null
+diff -u testdata/sweep_golden.csv "$OUT/full.csv" || {
+  echo "chaos smoke FAILED: journaled sweep CSV differs from golden" >&2
+  exit 1
+}
+# Replay a coordinator killed mid-sweep: two shards never made it into the
+# journal. The rerun must reuse the other two and re-dispatch only these.
+rm "$JDIR"/*/shard-00002-of-00004.json "$JDIR"/*/shard-00003-of-00004.json
+"$BIN/cpgexper" "${SWEEP_FLAGS[@]}" -shards 4 -remote "http://$ADDR_A" \
+  -journal "$JDIR" > "$OUT/resumed.csv" 2> "$OUT/resume.log"
+grep -q "journal: reusing 2/4" "$OUT/resume.log" || {
+  echo "chaos smoke FAILED: restarted coordinator did not resume from the journal" >&2
+  sed 's/^/  coordinator: /' "$OUT/resume.log" >&2
+  exit 1
+}
+diff -u testdata/sweep_golden.csv "$OUT/resumed.csv" || {
+  echo "chaos smoke FAILED: CSV after coordinator restart differs from golden" >&2
+  exit 1
+}
+
+echo "chaos smoke OK: golden CSV survives a backend kill+restart mid-sweep and a coordinator restart from the journal"
