@@ -34,7 +34,10 @@
 // restarted with the same flags, re-dispatches only the missing shards. For
 // offline sharding, -shard i/N runs one shard and writes its partial result
 // document to stdout, and -merge a.json,b.json,... recombines saved
-// partials.
+// partials. -metrics-addr ADDR serves the coordinator's counters (shard
+// attempts, retries, backpressure sheds, steals, evictions, ...) as a
+// Prometheus GET /metrics endpoint for the duration of the run, so a long
+// sweep is scrapeable from outside.
 //
 // Experiments that share generated instances reuse them instead of
 // regenerating: fig1 and fig4 share one worked-example run, and the ablation
@@ -47,6 +50,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -58,6 +62,7 @@ import (
 	"repro/internal/expr"
 	"repro/internal/gen"
 	"repro/internal/listsched"
+	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/stats"
 	"repro/internal/textio"
@@ -87,6 +92,7 @@ func run(args []string, out io.Writer) error {
 	shardTimeout := fs.Duration("shard-timeout", distrib.DefaultShardTimeout, "per-attempt time limit of one shard on one backend before it fails over (negative = unbounded)")
 	journalDir := fs.String("journal", "", "spool completed sweep shards to this directory and resume from it on restart (coordinator mode)")
 	probeInterval := fs.Duration("probe-interval", 0, "health-probe period of the coordinator's backend registry (0 = probe only via shard attempts)")
+	metricsAddr := fs.String("metrics-addr", "", "serve the sweep coordinator's Prometheus metrics on this address (e.g. :9090) for the duration of the run")
 	shardSpec := fs.String("shard", "", "run only shard i/N of the sweep and write its partial result document to stdout (offline sharding)")
 	mergeFiles := fs.String("merge", "", "merge saved partial shard result documents (comma-separated files) instead of scheduling; renders only the sweep figures/CSV")
 	csvPath := fs.String("csv", "", "also write the sweep cells as CSV to this path (- = stdout)")
@@ -196,7 +202,16 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		cells, err := runSweepCells(cfg, *mergeFiles, *shards, *remote, *shardTimeout, *journalDir, *probeInterval, *progress)
+		cells, err := runSweepCells(cfg, sweepRunOpts{
+			mergeFiles:    *mergeFiles,
+			shards:        *shards,
+			remotes:       splitList(*remote),
+			shardTimeout:  *shardTimeout,
+			journalDir:    *journalDir,
+			probeInterval: *probeInterval,
+			progress:      *progress,
+			metrics:       serveSweepMetrics(*metricsAddr),
+		})
 		if err != nil {
 			return err
 		}
@@ -293,21 +308,56 @@ func splitList(s string) []string {
 	return vals
 }
 
+// sweepRunOpts bundles the flags that select and shape a sweep run's
+// execution mode.
+type sweepRunOpts struct {
+	mergeFiles    string
+	shards        int
+	remotes       []string
+	shardTimeout  time.Duration
+	journalDir    string
+	probeInterval time.Duration
+	progress      bool
+	metrics       *distrib.Metrics // nil = unobserved
+}
+
+// serveSweepMetrics starts the -metrics-addr exposition endpoint and returns
+// the distrib instrument set registered on it (nil when the flag is unset).
+// The listener lives for the rest of the process; a busy or invalid address
+// is reported on stderr but never fails the sweep itself.
+func serveSweepMetrics(addr string) *distrib.Metrics {
+	if addr == "" {
+		return nil
+	}
+	reg := obs.NewRegistry()
+	metrics := distrib.NewMetrics(reg)
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", obs.Handler(reg))
+	go func() {
+		srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+		if err := srv.ListenAndServe(); err != nil {
+			fmt.Fprintf(os.Stderr, "cpgexper: -metrics-addr %s: %v\n", addr, err)
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "cpgexper: serving sweep metrics on %s/metrics\n", addr)
+	return metrics
+}
+
 // runSweepCells produces the sweep cells by whichever mode the flags select:
 // merging saved partials, coordinating shards over backends, or the plain
 // single-process run.
-func runSweepCells(cfg expr.SweepConfig, mergeFiles string, shards int, remote string, shardTimeout time.Duration, journalDir string, probeInterval time.Duration, progress bool) ([]expr.Cell, error) {
+func runSweepCells(cfg expr.SweepConfig, opts sweepRunOpts) ([]expr.Cell, error) {
 	start := time.Now()
 	defer func() {
 		// Timing goes to stderr so stdout is byte-identical for every
 		// -workers value (and every machine).
 		fmt.Fprintf(os.Stderr, "sweep: total time %v\n", time.Since(start).Round(time.Millisecond))
 	}()
-	if mergeFiles != "" {
-		return mergePartialFiles(cfg, splitList(mergeFiles))
+	if opts.mergeFiles != "" {
+		return mergePartialFiles(cfg, splitList(opts.mergeFiles))
 	}
-	if shards > 0 || remote != "" || journalDir != "" {
-		return runCoordinated(cfg, shards, splitList(remote), shardTimeout, journalDir, probeInterval, progress)
+	if opts.shards > 0 || len(opts.remotes) > 0 || opts.journalDir != "" {
+		return runCoordinated(cfg, opts)
 	}
 	return expr.RunSweep(cfg)
 }
@@ -320,9 +370,9 @@ func runSweepCells(cfg expr.SweepConfig, mergeFiles string, shards int, remote s
 // -journal every completed shard is spooled so a restarted run re-dispatches
 // only the missing ones. Ctrl-C cancels the in-flight shard requests
 // promptly (the journal keeps what finished).
-func runCoordinated(cfg expr.SweepConfig, shards int, remotes []string, shardTimeout time.Duration, journalDir string, probeInterval time.Duration, progress bool) ([]expr.Cell, error) {
+func runCoordinated(cfg expr.SweepConfig, opts sweepRunOpts) ([]expr.Cell, error) {
 	var backends []distrib.Backend
-	for _, u := range remotes {
+	for _, u := range opts.remotes {
 		backends = append(backends, distrib.HTTP{BaseURL: u})
 	}
 	if len(backends) == 0 {
@@ -334,18 +384,20 @@ func runCoordinated(cfg expr.SweepConfig, shards int, remotes []string, shardTim
 		}
 		backends = []distrib.Backend{distrib.InProcess{Service: svc}}
 	}
+	shards := opts.shards
 	if shards < 1 {
 		shards = max(1, len(backends))
 	}
 	var logf func(format string, args ...any)
-	if progress {
+	if opts.progress {
 		logf = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "sweep: "+format+"\n", args...)
 		}
 	}
 	reg := distrib.NewRegistry()
-	reg.ProbeInterval = probeInterval
+	reg.ProbeInterval = opts.probeInterval
 	reg.Log = logf
+	reg.Metrics = opts.metrics
 	for _, b := range backends {
 		if err := reg.Register(b); err != nil {
 			return nil, err
@@ -354,9 +406,15 @@ func runCoordinated(cfg expr.SweepConfig, shards int, remotes []string, shardTim
 	// Per-graph progress would interleave across concurrent shards; the
 	// coordinator reports per-shard completions instead.
 	cfg.Progress = nil
-	co := &distrib.Coordinator{Shards: shards, Registry: reg, ShardTimeout: shardTimeout, Log: logf}
-	if journalDir != "" {
-		j, err := distrib.OpenJournal(journalDir)
+	co := &distrib.Coordinator{
+		Shards:       shards,
+		Registry:     reg,
+		ShardTimeout: opts.shardTimeout,
+		Log:          logf,
+		Metrics:      opts.metrics,
+	}
+	if opts.journalDir != "" {
+		j, err := distrib.OpenJournal(opts.journalDir)
 		if err != nil {
 			return nil, err
 		}
@@ -364,7 +422,7 @@ func runCoordinated(cfg expr.SweepConfig, shards int, remotes []string, shardTim
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	if probeInterval > 0 {
+	if opts.probeInterval > 0 {
 		probeCtx, stopProbes := context.WithCancel(ctx)
 		defer stopProbes()
 		go reg.RunProbes(probeCtx)

@@ -7,10 +7,14 @@
 // Usage:
 //
 //	cpgserve [-addr :8080] [-workers N] [-cache N] [-max-body BYTES]
+//	         [-limit-light N] [-limit-heavy N]
 //
 // The handlers live in internal/httpserver (see its package documentation
-// for the endpoint list and conventions); this command only adds flags,
-// logging and graceful shutdown.
+// for the endpoint list, the /metrics exposition and the admission-control
+// conventions); this command only adds flags, logging and graceful shutdown.
+// -limit-light bounds concurrent schedule/simulate/generate requests and
+// -limit-heavy concurrent sweep shards; requests over a bound are shed with
+// 429 + Retry-After (0 = budget-derived defaults, negative = unlimited).
 package main
 
 import (
@@ -34,10 +38,17 @@ func main() {
 	workers := fs.Int("workers", 0, "global worker budget shared by all requests (0 = all CPUs)")
 	cache := fs.Int("cache", service.DefaultCacheSize, "solved-problem memo capacity (negative disables)")
 	maxBody := fs.Int64("max-body", 8<<20, "maximum request body size in bytes")
+	limitLight := fs.Int("limit-light", 0, "max concurrent schedule/simulate/generate requests before shedding 429 (0 = budget-derived default, negative = unlimited)")
+	limitHeavy := fs.Int("limit-heavy", 0, "max concurrent sweep shards before shedding 429 (0 = budget-derived default, negative = unlimited)")
 	fs.Parse(os.Args[1:])
 
 	logger := log.New(os.Stderr, "cpgserve: ", log.LstdFlags)
-	srv, err := httpserver.New(service.Config{Workers: *workers, CacheSize: *cache}, *maxBody)
+	srv, err := httpserver.NewServer(httpserver.Options{
+		Service:    service.Config{Workers: *workers, CacheSize: *cache},
+		MaxBody:    *maxBody,
+		LightLimit: *limitLight,
+		HeavyLimit: *limitHeavy,
+	})
 	if err != nil {
 		logger.Fatal(err)
 	}

@@ -1,0 +1,240 @@
+package distrib
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/expr"
+	"repro/internal/httpserver"
+	"repro/internal/obs"
+	"repro/internal/service"
+)
+
+// TestHTTPBackendMapsShedsToBackpressure pins the status mapping of
+// HTTP.RunShard: 429 and 503 responses become BackpressureError carrying the
+// Retry-After hint, other non-200s stay ordinary errors.
+func TestHTTPBackendMapsShedsToBackpressure(t *testing.T) {
+	var status atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "3")
+		w.WriteHeader(int(status.Load()))
+		w.Write([]byte(`{"error":{"status":429,"message":"overloaded"}}`))
+	}))
+	t.Cleanup(ts.Close)
+	b := HTTP{BaseURL: ts.URL}
+	cfg := expr.GoldenSweep()
+
+	for _, code := range []int{http.StatusTooManyRequests, http.StatusServiceUnavailable} {
+		status.Store(int64(code))
+		_, err := b.RunShard(context.Background(), cfg)
+		var bp *BackpressureError
+		if !errors.As(err, &bp) {
+			t.Fatalf("status %d: err = %v, want BackpressureError", code, err)
+		}
+		if bp.Status != code {
+			t.Errorf("status %d: BackpressureError.Status = %d", code, bp.Status)
+		}
+		if bp.RetryAfter != 3*time.Second {
+			t.Errorf("status %d: RetryAfter = %v, want 3s", code, bp.RetryAfter)
+		}
+		if !IsBackpressure(err) {
+			t.Errorf("status %d: IsBackpressure = false", code)
+		}
+	}
+
+	status.Store(http.StatusInternalServerError)
+	_, err := b.RunShard(context.Background(), cfg)
+	if err == nil || IsBackpressure(err) {
+		t.Fatalf("500 must stay an ordinary failure, got %v", err)
+	}
+}
+
+// TestParseRetryAfter pins the delay-seconds parsing, including the
+// no-hint fallbacks.
+func TestParseRetryAfter(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want time.Duration
+	}{
+		{"3", 3 * time.Second},
+		{" 10 ", 10 * time.Second},
+		{"0", 0},
+		{"", 0},
+		{"-5", 0},
+		{"Wed, 21 Oct 2015 07:28:00 GMT", 0},
+	} {
+		if got := parseRetryAfter(tc.in); got != tc.want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestShedsDoNotCountTowardEviction pins the eviction exemption directly on
+// the run loop: a fleet with FailAfter=1 and a backend that sheds every
+// first attempt would lose the backend instantly if sheds counted as
+// failures — instead the shard retries on the same backend and succeeds.
+func TestShedsDoNotCountTowardEviction(t *testing.T) {
+	reg := NewRegistry()
+	reg.FailAfter = 1
+	metrics := NewMetrics(obs.NewRegistry())
+	reg.Metrics = metrics
+
+	var calls atomic.Int64
+	b := &scriptedBackend{name: "sheddy", run: func(ctx context.Context, cfg expr.SweepConfig) (*expr.ShardResult, error) {
+		if calls.Add(1) == 1 {
+			return nil, &BackpressureError{Status: 429, RetryAfter: time.Millisecond, Msg: "overloaded"}
+		}
+		return expr.RunSweepShardContext(ctx, cfg)
+	}}
+	if err := reg.Register(b); err != nil {
+		t.Fatal(err)
+	}
+	co := &Coordinator{
+		Shards:         1,
+		Registry:       reg,
+		Metrics:        metrics,
+		RetryBaseDelay: time.Millisecond,
+		RetryMaxDelay:  5 * time.Millisecond,
+	}
+	if _, err := co.Run(context.Background(), expr.GoldenSweep()); err != nil {
+		t.Fatalf("sweep failed; a shed must not evict the only backend: %v", err)
+	}
+	if got := reg.Members()[0].State; got != StateActive {
+		t.Errorf("backend state after shed = %s, want active", got)
+	}
+	if got := metrics.sheds.Value(); got != 1 {
+		t.Errorf("sheds counter = %d, want 1", got)
+	}
+	if got := metrics.evictions.Value(); got != 0 {
+		t.Errorf("evictions counter = %d, want 0", got)
+	}
+	if got := metrics.retries.Value(); got != 1 {
+		t.Errorf("retries counter = %d, want 1", got)
+	}
+}
+
+// scriptedBackend is a minimal function-backed Backend for run-loop tests in
+// this package (distribtest's richer harness lives downstream of distrib and
+// cannot be imported here).
+type scriptedBackend struct {
+	name string
+	run  func(ctx context.Context, cfg expr.SweepConfig) (*expr.ShardResult, error)
+}
+
+func (b *scriptedBackend) Name() string { return b.name }
+func (b *scriptedBackend) RunShard(ctx context.Context, cfg expr.SweepConfig) (*expr.ShardResult, error) {
+	return b.run(ctx, cfg)
+}
+
+// TestRetryAfterFloorsBackoff pins the pacing contract: the backend's
+// Retry-After is a floor under the computed backoff delay, observable as the
+// coordinator's cumulative scheduled backoff.
+func TestRetryAfterFloorsBackoff(t *testing.T) {
+	metrics := NewMetrics(obs.NewRegistry())
+	var calls atomic.Int64
+	b := &scriptedBackend{name: "floor", run: func(ctx context.Context, cfg expr.SweepConfig) (*expr.ShardResult, error) {
+		if calls.Add(1) == 1 {
+			return nil, &BackpressureError{Status: 503, RetryAfter: 120 * time.Millisecond, Msg: "draining"}
+		}
+		return expr.RunSweepShardContext(ctx, cfg)
+	}}
+	co := &Coordinator{
+		Shards:         1,
+		Backends:       []Backend{b},
+		Metrics:        metrics,
+		RetryBaseDelay: time.Millisecond,
+		RetryMaxDelay:  2 * time.Millisecond,
+	}
+	if _, err := co.Run(context.Background(), expr.GoldenSweep()); err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	// The one retry's scheduled delay must have been floored to Retry-After
+	// (120ms), not the 1–2ms configured backoff.
+	if got := metrics.backoffMs.Value(); got < 120 {
+		t.Errorf("cumulative backoff = %dms, want >= 120ms (Retry-After floor)", got)
+	}
+}
+
+// TestGoldenSweepAgainstOverloadedServer is the end-to-end shed scenario: a
+// real httpserver whose heavy class admits exactly one sweep shard at a time
+// genuinely answers 429 (with Retry-After) to concurrent dispatches, the
+// coordinator retries the shed shards as backpressure, and the merged cells
+// still match a clean single-process run byte for byte.
+func TestGoldenSweepAgainstOverloadedServer(t *testing.T) {
+	srv, err := httpserver.NewServer(httpserver.Options{
+		Service:    service.Config{Workers: 4},
+		HeavyLimit: 1,
+	})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	ts := httptest.NewServer(srv.Routes(nil))
+	t.Cleanup(ts.Close)
+
+	cfg := expr.GoldenSweep()
+	want, err := expr.RunSweep(cfg)
+	if err != nil {
+		t.Fatalf("reference sweep: %v", err)
+	}
+
+	// Probe first so the registry learns the server's 4-worker capacity and
+	// the coordinator actually dispatches shards concurrently — that
+	// concurrency is what makes the 1-slot heavy class shed for real.
+	reg := NewRegistry()
+	metrics := NewMetrics(obs.NewRegistry())
+	reg.Metrics = metrics
+	if err := reg.Register(HTTP{BaseURL: ts.URL}); err != nil {
+		t.Fatal(err)
+	}
+	reg.ProbeOnce(context.Background())
+	if got := reg.Members()[0].Capacity; got != 4 {
+		t.Fatalf("probed capacity = %d, want 4", got)
+	}
+
+	var sheds atomic.Int64
+	co := &Coordinator{
+		Shards:          3,
+		Registry:        reg,
+		Metrics:         metrics,
+		DisableStealing: true, // steals would serialize through the 1 slot anyway
+		Log: func(format string, args ...any) {
+			if strings.Contains(fmt.Sprintf(format, args...), "shed (backpressure)") {
+				sheds.Add(1)
+			}
+		},
+	}
+	cells, err := co.Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("sweep against overloaded server: %v", err)
+	}
+	var got, ref bytes.Buffer
+	if err := expr.WriteSweepCSV(&got, expr.ZeroTimes(cells)); err != nil {
+		t.Fatal(err)
+	}
+	if err := expr.WriteSweepCSV(&ref, expr.ZeroTimes(want)); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != ref.String() {
+		t.Errorf("CSV under real 429s differs from clean run:\n--- clean\n%s\n--- got\n%s", ref.String(), got.String())
+	}
+	if sheds.Load() == 0 {
+		t.Errorf("no shard was shed; the scenario must exercise real 429 backpressure")
+	}
+	if metrics.sheds.Value() == 0 {
+		t.Errorf("sheds counter = 0, want > 0")
+	}
+	if metrics.evictions.Value() != 0 {
+		t.Errorf("evictions counter = %d, want 0 (sheds never evict)", metrics.evictions.Value())
+	}
+	if got := reg.Members()[0].State; got != StateActive {
+		t.Errorf("backend ended %s, want active", got)
+	}
+}

@@ -64,6 +64,10 @@ type Coordinator struct {
 	// DisableStealing turns off speculative re-dispatch of slow in-flight
 	// shards (stealing is on by default).
 	DisableStealing bool
+	// Metrics, when non-nil, receives the coordinator's counters (attempts,
+	// retries, steals, sheds, ...). Nil records nothing. A private registry
+	// built from Backends inherits it; an explicit Registry keeps its own.
+	Metrics *Metrics
 }
 
 // logf emits a coordinator progress line, if logging is attached.
@@ -85,6 +89,7 @@ func (c *Coordinator) registry() (*Registry, error) {
 	}
 	reg := NewRegistry()
 	reg.Log = c.Log
+	reg.Metrics = c.Metrics
 	backends := c.Backends
 	if len(backends) == 0 {
 		backends = []Backend{InProcess{}}
@@ -292,6 +297,7 @@ func (r *sweepRun) preload() error {
 		r.done++
 	}
 	if r.done > 0 {
+		r.c.Metrics.journalReuse(r.done)
 		r.logf("journal: reusing %d/%d completed shards, re-dispatching %d", r.done, r.count, r.count-r.done)
 	}
 	return nil
@@ -330,6 +336,7 @@ func (r *sweepRun) dispatch() {
 		if victim < 0 {
 			return
 		}
+		r.c.Metrics.steal()
 		r.logf("shard %d/%d stolen for idle %s (slowest in flight; first finisher wins)", victim, r.count, m.name)
 		r.start(victim, m)
 	}
@@ -397,6 +404,7 @@ func (r *sweepRun) start(shard int, m memberView) {
 	st.inflight[m.name] = true
 	r.busy[m.name]++
 	r.inflightTotal++
+	r.c.Metrics.attempt()
 	scfg := r.cfg
 	scfg.ShardIndex, scfg.ShardCount = shard, r.count
 	go r.attempt(shard, m.name, m.backend, scfg)
@@ -434,6 +442,7 @@ func (r *sweepRun) handle(ctx context.Context, out attemptOutcome) error {
 	if out.err == nil {
 		r.reg.reportSuccess(out.backend)
 		if r.results[out.shard] != nil {
+			r.c.Metrics.duplicate()
 			r.logf("shard %d/%d duplicate completion on %s discarded (lost the steal race)", out.shard, r.count, out.backend)
 			return nil
 		}
@@ -453,7 +462,17 @@ func (r *sweepRun) handle(ctx context.Context, out attemptOutcome) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	r.reg.reportFailure(out.backend)
+	// A shed (HTTP 429/503 backpressure) is the backend saying "not right
+	// now", not evidence it is broken: retry with the usual bounded backoff,
+	// but never count it toward the registry's consecutive-failure eviction —
+	// shedding an overloaded-but-healthy backend out of the fleet would turn
+	// transient congestion into permanent capacity loss.
+	var bp *BackpressureError
+	if errors.As(out.err, &bp) {
+		r.c.Metrics.shed()
+	} else {
+		r.reg.reportFailure(out.backend)
+	}
 	if r.results[out.shard] != nil {
 		return nil // the shard finished elsewhere; this failure is moot
 	}
@@ -471,8 +490,18 @@ func (r *sweepRun) handle(ctx context.Context, out attemptOutcome) error {
 			out.shard, r.count, st.attempts, errors.Join(st.failures...))
 	}
 	delay := r.backoff(out.shard, st.attempts)
-	r.logf("shard %d/%d failed on %s (attempt %d/%d), retrying in %v: %v",
-		out.shard, r.count, out.backend, st.attempts, r.maxAttempts, delay, out.err)
+	kind := "failed"
+	if bp != nil {
+		kind = "shed (backpressure)"
+		// The backend's Retry-After is a floor under the computed backoff:
+		// retrying sooner than asked would just be shed again.
+		if bp.RetryAfter > delay {
+			delay = bp.RetryAfter
+		}
+	}
+	r.c.Metrics.retry(delay)
+	r.logf("shard %d/%d %s on %s (attempt %d/%d), retrying in %v: %v",
+		out.shard, r.count, kind, out.backend, st.attempts, r.maxAttempts, delay, out.err)
 	st.cooling = true
 	r.cooling++
 	shard := out.shard

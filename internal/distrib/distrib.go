@@ -18,10 +18,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -29,6 +31,45 @@ import (
 	"repro/internal/service"
 	"repro/internal/textio"
 )
+
+// BackpressureError reports a shard attempt shed by the backend's admission
+// control (HTTP 429 overloaded, 503 draining) rather than failed. The
+// coordinator retries it with its usual bounded backoff — honouring
+// RetryAfter as a floor — but does NOT count it toward the registry's
+// consecutive-failure eviction: a backend saying "not right now" is
+// healthier than one saying nothing.
+type BackpressureError struct {
+	// Status is the HTTP status that signalled the shed (429 or 503).
+	Status int
+	// RetryAfter is the backend's requested minimum delay before retrying
+	// (zero if the response carried no usable Retry-After header).
+	RetryAfter time.Duration
+	// Msg is the backend's error message, usually the JSON error envelope.
+	Msg string
+}
+
+// Error implements error.
+func (e *BackpressureError) Error() string {
+	return fmt.Sprintf("backend shed the request (HTTP %d, retry after %v): %s", e.Status, e.RetryAfter, e.Msg)
+}
+
+// IsBackpressure reports whether err (anywhere in its chain) is a
+// backpressure shed rather than a failure.
+func IsBackpressure(err error) bool {
+	var be *BackpressureError
+	return errors.As(err, &be)
+}
+
+// parseRetryAfter reads a Retry-After header value in its delay-seconds form
+// (the only form this repo's servers emit); anything unparseable maps to
+// zero, meaning "no hint".
+func parseRetryAfter(h string) time.Duration {
+	secs, err := strconv.Atoi(strings.TrimSpace(h))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
 
 // DefaultShardTimeout bounds one shard attempt on one backend when
 // Coordinator.ShardTimeout is zero. Without a bound, a wedged-but-connected
@@ -179,6 +220,13 @@ func (b HTTP) RunShard(ctx context.Context, cfg expr.SweepConfig) (*expr.ShardRe
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+			return nil, &BackpressureError{
+				Status:     resp.StatusCode,
+				RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+				Msg:        string(bytes.TrimSpace(data)),
+			}
+		}
 		return nil, fmt.Errorf("POST /v1/sweep: %s: %s", resp.Status, bytes.TrimSpace(data))
 	}
 	doc, sh, err := textio.ReadSweepResponse(resp.Body)

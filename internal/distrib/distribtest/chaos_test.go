@@ -382,3 +382,50 @@ func TestRegistryProbesScriptedFleet(t *testing.T) {
 		t.Fatalf("good after drain lifted: %+v, want active", got)
 	}
 }
+
+// TestGoldenSweepUnderShedding: one backend sheds (HTTP-429-style
+// backpressure) the first attempt of every shard while a registry with a
+// hair-trigger eviction threshold watches. If sheds counted toward the
+// consecutive-failure eviction, the lone backend would be evicted on the
+// first shed and the sweep would stall; instead every shard is retried after
+// backoff on the same backend, the backend stays active, and the merged CSV
+// is byte-identical to the golden file.
+func TestGoldenSweepUnderShedding(t *testing.T) {
+	golden := goldenCSV(t)
+	shedding := &Backend{BackendName: "shedding", Decide: func(shard, attempt int) Action {
+		if attempt == 0 {
+			return Action{Kind: Fail, Err: &distrib.BackpressureError{
+				Status:     429,
+				RetryAfter: time.Millisecond,
+				Msg:        `{"error":{"status":429,"message":"server overloaded"}}`,
+			}}
+		}
+		return Action{}
+	}}
+	reg := distrib.NewRegistry()
+	reg.FailAfter = 1 // any real failure evicts instantly — sheds must not
+	if err := reg.Register(shedding); err != nil {
+		t.Fatal(err)
+	}
+	rec := &logRec{}
+	co := fastRetries(&distrib.Coordinator{Shards: 3, Registry: reg, Log: rec.logf})
+	cells, err := co.Run(context.Background(), expr.GoldenSweep())
+	if err != nil {
+		t.Fatalf("sweep under shedding: %v\nlog:\n%s", err, rec.all())
+	}
+	if got := cellsCSV(t, cells); got != golden {
+		t.Errorf("CSV differs from golden:\n--- golden\n%s\n--- got\n%s", golden, got)
+	}
+	if got := reg.Members()[0].State; got != distrib.StateActive {
+		t.Errorf("shedding backend ended %s, want active (sheds must not evict)", got)
+	}
+	if got := shedding.TotalAttempts(); got != 6 {
+		t.Errorf("shedding backend saw %d attempts, want exactly 6 (one shed + one success per shard)", got)
+	}
+	if got := shedding.TotalCompletions(); got != 3 {
+		t.Errorf("shedding backend delivered %d shards, want 3", got)
+	}
+	if !rec.contains("shed (backpressure)") {
+		t.Errorf("expected backpressure retries in the log:\n%s", rec.all())
+	}
+}

@@ -92,6 +92,9 @@ type Registry struct {
 	// Log, when non-nil, receives one line per state transition
 	// (eviction, re-admission, drain).
 	Log func(format string, args ...any)
+	// Metrics, when non-nil, receives the registry's counters (probe
+	// failures, evictions, re-admissions, drains). Nil records nothing.
+	Metrics *Metrics
 
 	mu      sync.Mutex
 	members map[string]*member
@@ -197,6 +200,7 @@ func (r *Registry) Drain(name string) error {
 	}
 	if !m.manualDrain {
 		m.manualDrain = true
+		r.Metrics.drain()
 		r.logf("registry: draining backend %s", name)
 		r.broadcastLocked()
 	}
@@ -274,6 +278,7 @@ func (r *Registry) recordFailureLocked(name string, m *member) {
 	m.failures++
 	if !m.down && m.failures >= r.failAfter() {
 		m.down = true
+		r.Metrics.eviction()
 		r.logf("registry: evicting backend %s after %d consecutive failures", name, m.failures)
 		r.broadcastLocked()
 	}
@@ -291,6 +296,7 @@ func (r *Registry) reportSuccess(name string) {
 	m.failures = 0
 	if m.down {
 		m.down = false
+		r.Metrics.readmission()
 		r.logf("registry: re-admitting backend %s", name)
 		r.broadcastLocked()
 	}
@@ -346,6 +352,7 @@ func (r *Registry) ProbeOnce(ctx context.Context) {
 			continue // deregistered while probing
 		}
 		if res.err != nil {
+			r.Metrics.probeFailure()
 			r.logf("registry: probe of %s failed: %v", res.name, res.err)
 			r.recordFailureLocked(res.name, m)
 			continue
@@ -354,12 +361,14 @@ func (r *Registry) ProbeOnce(ctx context.Context) {
 		m.capacity = res.info.Capacity
 		if m.down {
 			m.down = false
+			r.Metrics.readmission()
 			r.logf("registry: re-admitting backend %s (probe ok)", res.name)
 			r.broadcastLocked()
 		}
 		if res.info.Draining != m.probeDrain {
 			m.probeDrain = res.info.Draining
 			if res.info.Draining {
+				r.Metrics.drain()
 				r.logf("registry: backend %s reports draining", res.name)
 			} else {
 				r.logf("registry: backend %s done draining", res.name)

@@ -21,15 +21,32 @@
 //	                              worked on; &watch=1 streams one compact JSON
 //	                              snapshot per change (NDJSON) until the client
 //	                              disconnects
-//	POST /v1/drain                finish in-flight work but advertise
-//	                              "draining" on /healthz so registries stop
+//	POST /v1/drain                stop admitting schedulable work: new
+//	                              schedule/simulate/generate/sweep requests
+//	                              are shed with 503 + Retry-After while
+//	                              in-flight ones finish, and /healthz
+//	                              advertises "draining" so registries stop
 //	                              dispatching here; &resume=1 reverts
+//	GET  /metrics                 Prometheus text exposition of the request,
+//	                              admission, service and cache metrics
 //	GET  /healthz                 liveness plus service counters ("draining"
 //	                              after POST /v1/drain)
 //
 // Every error is reported as a JSON envelope {"error":{"status":...,
 // "message":...}}. The per-request ?workers= limit is clamped by the global
 // budget: concurrent requests share the budget's tokens in total.
+//
+// # Admission control
+//
+// Endpoints are grouped into two classes — "light" (schedule, simulate,
+// generate: one problem each) and "heavy" (sweep: a whole shard of graphs) —
+// each with a bounded concurrency and a live in-flight gauge. A request over
+// the bound is shed immediately with 429, a Retry-After hint and the JSON
+// error envelope, instead of stacking goroutines behind the worker-token
+// budget until the client times out; during a drain window both classes shed
+// with 503 so a loaded-or-leaving backend is distinguishable from a dead
+// one. Observability endpoints (/metrics, /healthz, /v1/sweep/progress,
+// /v1/drain) are never shed — an overloaded server must stay diagnosable.
 package httpserver
 
 import (
@@ -38,60 +55,207 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"math"
 	"net/http"
 	"slices"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/gen"
+	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/sim"
 	"repro/internal/textio"
 )
 
+// Default admission parameters.
+const (
+	// DefaultRetryAfter is the Retry-After hint of a 429 overload shed: the
+	// class bound usually clears within a request service time.
+	DefaultRetryAfter = time.Second
+	// DefaultDrainRetryAfter is the Retry-After hint of a 503 drain shed: a
+	// draining server intends to leave, so clients should back off longer
+	// (or better, go elsewhere).
+	DefaultDrainRetryAfter = 5 * time.Second
+)
+
+// DefaultLightLimit is the light-class (schedule/simulate/generate)
+// concurrency bound for a given worker budget: generous, because light
+// requests queue briefly on the token pool and memo hits bypass it entirely.
+func DefaultLightLimit(budget int) int { return max(32, 8*budget) }
+
+// DefaultHeavyLimit is the heavy-class (sweep shard) concurrency bound for a
+// given worker budget: a shard monopolizes tokens for a long time, so only a
+// small pipeline beyond the budget is admitted before shedding.
+func DefaultHeavyLimit(budget int) int { return max(4, 2*budget) }
+
+// Options parameterises a Server beyond the service config.
+type Options struct {
+	// Service configures the scheduling service (worker budget, memo size).
+	Service service.Config
+	// MaxBody bounds the accepted request body size in bytes (0 = 8 MiB).
+	MaxBody int64
+	// Metrics is the registry the server's instruments are registered on
+	// (nil = a fresh private registry, retrievable via MetricsRegistry).
+	Metrics *obs.Registry
+	// Clock is the latency-measurement time source (nil = obs.WallClock).
+	Clock obs.Clock
+	// LightLimit bounds concurrent schedule/simulate/generate requests
+	// (0 = DefaultLightLimit of the budget, negative = unlimited).
+	LightLimit int
+	// HeavyLimit bounds concurrent sweep-shard requests
+	// (0 = DefaultHeavyLimit of the budget, negative = unlimited).
+	HeavyLimit int
+	// RetryAfter and DrainRetryAfter are the Retry-After hints of 429
+	// overload and 503 drain sheds (0 = the defaults above).
+	RetryAfter      time.Duration
+	DrainRetryAfter time.Duration
+}
+
+// epClass is one admission class: endpoints sharing a concurrency bound, an
+// in-flight gauge and shed counters.
+type epClass struct {
+	limit        int64
+	inflight     *obs.Gauge
+	shedOverload *obs.Counter
+	shedDrain    *obs.Counter
+}
+
 // Server holds the shared state of the HTTP handlers: one scheduling service
-// (global worker budget, solved-problem and sweep-shard memos) and one
-// generator cache.
+// (global worker budget, solved-problem and sweep-shard memos), one
+// generator cache, and the metrics registry with the admission state.
 type Server struct {
 	svc      *service.Service
 	genCache *gen.Cache
 	maxBody  int64
 	start    time.Time
 	draining atomic.Bool
+
+	metrics   *obs.Registry
+	clock     obs.Clock
+	light     *epClass
+	heavy     *epClass
+	reqCodes  *obs.CounterVec
+	durations *obs.HistogramVec
+	// Pre-rendered Retry-After header values (whole seconds, rounded up).
+	retryAfterOverload string
+	retryAfterDrain    string
 }
 
 // New builds a Server around a fresh service. maxBody bounds the accepted
-// request body size in bytes.
+// request body size in bytes. Admission bounds, metrics registry and clock
+// take their defaults; use NewServer to set them.
 func New(cfg service.Config, maxBody int64) (*Server, error) {
-	svc, err := service.New(cfg)
+	return NewServer(Options{Service: cfg, MaxBody: maxBody})
+}
+
+// NewServer builds a Server from Options.
+func NewServer(opts Options) (*Server, error) {
+	svc, err := service.New(opts.Service)
 	if err != nil {
 		return nil, err
 	}
-	return &Server{
-		svc:      svc,
-		genCache: gen.NewCache(0),
-		maxBody:  maxBody,
-		start:    time.Now(),
-	}, nil
+	maxBody := opts.MaxBody
+	if maxBody == 0 {
+		maxBody = 8 << 20
+	}
+	clock := opts.Clock
+	if clock == nil {
+		clock = obs.WallClock{}
+	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	retryAfter := opts.RetryAfter
+	if retryAfter <= 0 {
+		retryAfter = DefaultRetryAfter
+	}
+	drainRetryAfter := opts.DrainRetryAfter
+	if drainRetryAfter <= 0 {
+		drainRetryAfter = DefaultDrainRetryAfter
+	}
+	s := &Server{
+		svc:                svc,
+		genCache:           gen.NewCache(0),
+		maxBody:            maxBody,
+		metrics:            reg,
+		clock:              clock,
+		retryAfterOverload: retryAfterSeconds(retryAfter),
+		retryAfterDrain:    retryAfterSeconds(drainRetryAfter),
+	}
+	s.start = clock.Now()
+	budget := svc.Stats().Workers
+	s.reqCodes = reg.CounterVec("cpg_http_requests_total",
+		"HTTP requests served, by endpoint and status class.", "endpoint", "code")
+	s.durations = reg.HistogramVec("cpg_http_request_duration_seconds",
+		"HTTP request latency in seconds, by endpoint.", nil, "endpoint")
+	inflight := reg.GaugeVec("cpg_http_in_flight",
+		"In-flight requests, by endpoint class: the live admission-control state.", "class")
+	sheds := reg.CounterVec("cpg_http_shed_total",
+		"Requests shed by admission control, by endpoint class and reason (overload: class concurrency bound hit, 429; drain: server draining, 503).",
+		"class", "reason")
+	s.light = newEPClass("light", opts.LightLimit, DefaultLightLimit(budget), inflight, sheds)
+	s.heavy = newEPClass("heavy", opts.HeavyLimit, DefaultHeavyLimit(budget), inflight, sheds)
+	reg.GaugeFunc("cpg_http_uptime_seconds", "Seconds since the server started.",
+		func() int64 { return int64(s.clock.Now().Sub(s.start).Seconds()) })
+	svc.RegisterMetrics(reg)
+	return s, nil
+}
+
+// newEPClass resolves one admission class: the configured bound (0 = the
+// default for the budget, negative = unlimited) and its instruments.
+func newEPClass(name string, limit, def int, inflight *obs.GaugeVec, sheds *obs.CounterVec) *epClass {
+	bound := int64(limit)
+	switch {
+	case limit == 0:
+		bound = int64(def)
+	case limit < 0:
+		bound = math.MaxInt64
+	}
+	return &epClass{
+		limit:        bound,
+		inflight:     inflight.With(name),
+		shedOverload: sheds.With(name, "overload"),
+		shedDrain:    sheds.With(name, "drain"),
+	}
+}
+
+// retryAfterSeconds renders a Retry-After header value: whole seconds,
+// rounded up (a zero hint would mean "retry immediately", defeating the
+// point of shedding).
+func retryAfterSeconds(d time.Duration) string {
+	secs := (d + time.Second - 1) / time.Second
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(int64(secs), 10)
 }
 
 // Stats exposes the underlying service counters (for startup logging and
 // monitoring).
 func (s *Server) Stats() service.Stats { return s.svc.Stats() }
 
-// Routes builds the request multiplexer, optionally wrapped with request
-// logging.
+// MetricsRegistry exposes the registry behind GET /metrics, so embedders
+// (tests, a coordinator co-hosting its own metrics) can scrape or extend it.
+func (s *Server) MetricsRegistry() *obs.Registry { return s.metrics }
+
+// Routes builds the request multiplexer — every endpoint wrapped in the
+// metrics middleware, the work endpoints additionally behind their class's
+// admission gate — optionally wrapped with request logging.
 func (s *Server) Routes(logger *log.Logger) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/schedule", s.handleSchedule)
-	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
-	mux.HandleFunc("POST /v1/generate", s.handleGenerate)
-	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
-	mux.HandleFunc("GET /v1/sweep/progress", s.handleSweepProgress)
-	mux.HandleFunc("POST /v1/drain", s.handleDrain)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.Handle("POST /v1/schedule", s.instrument("/v1/schedule", s.light, s.handleSchedule))
+	mux.Handle("POST /v1/simulate", s.instrument("/v1/simulate", s.light, s.handleSimulate))
+	mux.Handle("POST /v1/generate", s.instrument("/v1/generate", s.light, s.handleGenerate))
+	mux.Handle("POST /v1/sweep", s.instrument("/v1/sweep", s.heavy, s.handleSweep))
+	mux.Handle("GET /v1/sweep/progress", s.instrument("/v1/sweep/progress", nil, s.handleSweepProgress))
+	mux.Handle("POST /v1/drain", s.instrument("/v1/drain", nil, s.handleDrain))
+	mux.Handle("GET /healthz", s.instrument("/healthz", nil, s.handleHealthz))
+	mux.Handle("GET /metrics", s.instrument("/metrics", nil, obs.Handler(s.metrics).ServeHTTP))
 	if logger == nil {
 		return mux
 	}
@@ -100,6 +264,115 @@ func (s *Server) Routes(logger *log.Logger) http.Handler {
 		mux.ServeHTTP(w, r)
 		logger.Printf("%s %s (%v)", r.Method, r.URL.Path, time.Since(t).Round(time.Microsecond))
 	})
+}
+
+// endpoint is the metrics-and-admission middleware around one handler. Its
+// instruments are resolved once, at Routes time, so the request path does no
+// registry lookups and — with the pooled status writer — no allocations
+// beyond what the wrapped handler itself does.
+type endpoint struct {
+	s     *Server
+	cls   *epClass // nil: observability endpoint, never shed
+	dur   *obs.Histogram
+	codes [6]*obs.Counter // indexed by status/100 (1xx..5xx)
+	next  http.HandlerFunc
+}
+
+// instrument wraps a handler with the middleware, pre-resolving every label
+// child (so all request/duration families render from the first scrape, with
+// zero values, independent of traffic).
+func (s *Server) instrument(path string, cls *epClass, next http.HandlerFunc) http.Handler {
+	e := &endpoint{s: s, cls: cls, dur: s.durations.With(path), next: next}
+	for i := 1; i <= 5; i++ {
+		e.codes[i] = s.reqCodes.With(path, strconv.Itoa(i)+"xx")
+	}
+	return e
+}
+
+// statusWriter captures the response status for the request counter. Pooled:
+// the middleware must not allocate on the hot path.
+type statusWriter struct {
+	w       http.ResponseWriter
+	flusher http.Flusher
+	code    int
+}
+
+var swPool = sync.Pool{New: func() any { return new(statusWriter) }}
+
+func (sw *statusWriter) reset(w http.ResponseWriter) {
+	sw.w = w
+	sw.flusher, _ = w.(http.Flusher)
+	sw.code = 0
+}
+
+func (sw *statusWriter) Header() http.Header { return sw.w.Header() }
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.code == 0 {
+		sw.code = code
+	}
+	sw.w.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if sw.code == 0 {
+		sw.code = http.StatusOK
+	}
+	return sw.w.Write(b)
+}
+
+// Flush forwards to the underlying writer when it supports flushing (the
+// NDJSON progress stream needs it); flushable reports whether it does.
+func (sw *statusWriter) Flush() {
+	if sw.flusher != nil {
+		sw.flusher.Flush()
+	}
+}
+
+func (sw *statusWriter) flushable() bool { return sw.flusher != nil }
+
+func (e *endpoint) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s := e.s
+	if e.cls != nil {
+		if s.draining.Load() {
+			e.cls.shedDrain.Inc()
+			e.codes[http.StatusServiceUnavailable/100].Inc()
+			shed(w, http.StatusServiceUnavailable, s.retryAfterDrain,
+				"server is draining: finishing in-flight work, not admitting new requests")
+			return
+		}
+		if cur := e.cls.inflight.Inc(); cur > e.cls.limit {
+			e.cls.inflight.Dec()
+			e.cls.shedOverload.Inc()
+			e.codes[http.StatusTooManyRequests/100].Inc()
+			shed(w, http.StatusTooManyRequests, s.retryAfterOverload,
+				"server overloaded: endpoint-class concurrency bound reached, retry after the hinted delay")
+			return
+		}
+		defer e.cls.inflight.Dec()
+	}
+	sw := swPool.Get().(*statusWriter)
+	sw.reset(w)
+	start := s.clock.Now()
+	e.next(sw, r)
+	e.dur.Observe(s.clock.Now().Sub(start).Seconds())
+	code := sw.code
+	if code == 0 {
+		code = http.StatusOK
+	}
+	if i := code / 100; i >= 1 && i <= 5 {
+		e.codes[i].Inc()
+	}
+	sw.reset(nil)
+	swPool.Put(sw)
+}
+
+// shed rejects a request at the admission gate: Retry-After plus the usual
+// JSON error envelope, so clients and coordinators can tell backpressure
+// (429/503, retry elsewhere or later) from failure (5xx, count it).
+func shed(w http.ResponseWriter, status int, retryAfter, msg string) {
+	w.Header().Set("Retry-After", retryAfter)
+	writeError(w, status, errors.New(msg))
 }
 
 // errorDoc is the JSON error envelope of every non-2xx response.
@@ -277,7 +550,12 @@ func (s *Server) handleSweepProgress(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.progressDoc())
 		return
 	}
+	// The middleware's statusWriter always has a Flush method, so probe the
+	// underlying connection through it rather than a bare type assertion.
 	fl, ok := w.(http.Flusher)
+	if sw, isSW := w.(*statusWriter); isSW && !sw.flushable() {
+		ok = false
+	}
 	if !ok {
 		writeError(w, http.StatusNotImplemented, errors.New("streaming requires a flushable connection"))
 		return
@@ -307,9 +585,10 @@ type drainDoc struct {
 }
 
 // handleDrain switches the server into (or with ?resume=1, out of) drain
-// mode: in-flight and even new requests are still served — draining is
-// advisory — but /healthz advertises "draining", so a probing registry stops
-// offering this backend new shards while it finishes what it has.
+// mode: in-flight requests are still served, new schedulable work is shed
+// with 503 + Retry-After, and /healthz advertises "draining", so a probing
+// registry stops offering this backend new shards while it finishes what it
+// has. Observability endpoints keep working throughout.
 func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
 	resume := r.URL.Query().Get("resume") != ""
 	s.draining.Store(!resume)
@@ -468,7 +747,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	doc := &healthDoc{
 		Status:   status,
-		UptimeMs: time.Since(s.start).Milliseconds(),
+		UptimeMs: s.clock.Now().Sub(s.start).Milliseconds(),
 		Requests: st.Requests,
 		Workers:  st.Workers,
 	}

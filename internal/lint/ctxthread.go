@@ -7,9 +7,11 @@ import (
 	"golang.org/x/tools/go/analysis"
 )
 
-// defaultCtxThreadPkgs are the long-running packages: the scheduling core and
-// everything that fans work out across goroutines, shards or backends.
-const defaultCtxThreadPkgs = "core,service,expr,distrib,distribtest"
+// defaultCtxThreadPkgs are the long-running packages: the scheduling core,
+// everything that fans work out across goroutines, shards or backends, and
+// obs (its instruments are called from those loops; anything in it that
+// spawns or loops over context-aware work must thread the context through).
+const defaultCtxThreadPkgs = "core,service,expr,distrib,distribtest,obs"
 
 var ctxThreadScope = newPkgScope(defaultCtxThreadPkgs)
 

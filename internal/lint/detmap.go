@@ -10,10 +10,11 @@ import (
 
 // defaultDetMapPkgs covers the deterministic packages whose output is pinned
 // byte-identical by golden tests, the satellite packages (atm, stats, memo)
-// whose tables and counters feed user-visible reports, and the codec and
+// whose tables and counters feed user-visible reports, the codec and
 // transport packages, whose served documents are pinned byte-identical to
-// the in-process render.
-const defaultDetMapPkgs = "cond,cpg,listsched,sched,table,sim,expr,gen,core,atm,stats,memo,textio,httpserver,distrib,service"
+// the in-process render, and obs, whose /metrics exposition promises
+// byte-identical scrapes of identical state.
+const defaultDetMapPkgs = "cond,cpg,listsched,sched,table,sim,expr,gen,core,atm,stats,memo,textio,httpserver,distrib,service,obs"
 
 var detMapScope = newPkgScope(defaultDetMapPkgs)
 

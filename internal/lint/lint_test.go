@@ -12,6 +12,7 @@ import (
 // must stay silent.
 func TestDetMap(t *testing.T) {
 	linttest.Run(t, filepath.Join("testdata", "src", "detmap", "cond"), DetMap)
+	linttest.Run(t, filepath.Join("testdata", "src", "detmap", "obs"), DetMap)
 	linttest.Run(t, filepath.Join("testdata", "src", "detmap", "outside"), DetMap)
 }
 
@@ -27,6 +28,7 @@ func TestCtxThread(t *testing.T) {
 
 func TestNoWallClock(t *testing.T) {
 	linttest.Run(t, filepath.Join("testdata", "src", "nowallclock", "gen"), NoWallClock)
+	linttest.Run(t, filepath.Join("testdata", "src", "nowallclock", "obs"), NoWallClock)
 	linttest.Run(t, filepath.Join("testdata", "src", "nowallclock", "other"), NoWallClock)
 }
 

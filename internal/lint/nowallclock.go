@@ -8,11 +8,13 @@ import (
 )
 
 // defaultNoWallClockPkgs is the deterministic core plus the satellite
-// packages whose outputs feed pinned tables and reports, and the sweep
-// fleet (distrib, distribtest) whose merged CSVs are pinned golden: there,
+// packages whose outputs feed pinned tables and reports, the sweep
+// fleet (distrib, distribtest) whose merged CSVs are pinned golden — there,
 // probe tickers and retry-backoff timers are the only sanctioned wall-clock
-// pacing and each carries a documented allow.
-const defaultNoWallClockPkgs = "cond,cpg,listsched,sched,table,sim,expr,gen,core,atm,stats,memo,distrib,distribtest"
+// pacing and each carries a documented allow — and obs, where every time
+// read goes through the Clock interface and WallClock.Now is the single
+// documented production source.
+const defaultNoWallClockPkgs = "cond,cpg,listsched,sched,table,sim,expr,gen,core,atm,stats,memo,distrib,distribtest,obs"
 
 var noWallClockScope = newPkgScope(defaultNoWallClockPkgs)
 

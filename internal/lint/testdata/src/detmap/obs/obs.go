@@ -1,0 +1,70 @@
+// Package obs is a detmap fixture named after the real metrics package: its
+// Prometheus exposition promises that two scrapes of identical state are
+// byte-identical, so every map walk that feeds the rendered text must go
+// through the collect-then-sort idiom.
+//
+// Regression notes — the accepted shapes below mirror internal/obs exactly:
+// Registry.WriteText collects family names, sorts them, then emits, and each
+// family does the same with its series keys. The flagged shapes are what a
+// naive exposition writer would do instead.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// RenderUnsorted emits one line per family straight out of map iteration:
+// scrape order would change run to run, breaking the byte-identity contract.
+func RenderUnsorted(w io.Writer, families map[string]int64) {
+	for name, v := range families {
+		fmt.Fprintf(w, "%s %d\n", name, v) // want "fmt.Fprintf inside range over map"
+	}
+}
+
+// CollectUnsorted gathers the names but never sorts before returning them.
+func CollectUnsorted(families map[string]int64) []string {
+	var names []string
+	for name := range families {
+		names = append(names, name) // want "append to names inside range over map"
+	}
+	return names
+}
+
+// RenderSorted is the real WriteText shape: collect the keys, sort them,
+// then walk the sorted slice and emit. Not flagged.
+func RenderSorted(w io.Writer, families map[string]int64) {
+	names := make([]string, 0, len(families))
+	for name := range families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "%s %d\n", name, families[name])
+	}
+}
+
+// SeriesSorted mirrors the per-family child walk: collect the label keys,
+// sort, then resolve each child in deterministic order. Not flagged.
+func SeriesSorted(series map[string]int64) []string {
+	keys := make([]string, 0, len(series))
+	for k := range series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, fmt.Sprintf("%s %d", k, series[k]))
+	}
+	return out
+}
+
+// SumValues folds commutatively; order cannot leak. Not flagged.
+func SumValues(series map[string]int64) int64 {
+	var sum int64
+	for _, v := range series {
+		sum += v
+	}
+	return sum
+}

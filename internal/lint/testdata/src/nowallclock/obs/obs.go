@@ -1,0 +1,44 @@
+// Package obs is a nowallclock fixture named after the real metrics package,
+// where every time read goes through the Clock interface and the single
+// sanctioned wall-clock site is WallClock.Now.
+//
+// Regression notes — the allow below mirrors internal/obs verbatim: latency
+// histograms measure real elapsed time by definition, so the one production
+// Clock reads time.Now behind a documented allow, and every other consumer
+// (tests above all) injects a FakeClock instead of touching the wall clock.
+package obs
+
+import "time"
+
+// Clock mirrors the real interface: the only way obs code reads time.
+type Clock interface {
+	Now() time.Time
+}
+
+// WallClock is the production Clock.
+type WallClock struct{}
+
+// Now mirrors the real single sanctioned site: documented allow, nothing
+// else in the package touches the wall clock.
+func (WallClock) Now() time.Time {
+	//lint:allow nowallclock the one production time source behind the Clock interface: latency histograms measure real elapsed time by definition, and every consumer can swap in a FakeClock
+	return time.Now()
+}
+
+// NakedNow is the violation the scope widening exists to catch: an
+// undocumented wall-clock read anywhere else in obs.
+func NakedNow() time.Time {
+	return time.Now() // want "time.Now in the deterministic core"
+}
+
+// ObserveElapsed measures a latency without going through a Clock: equally
+// flagged, because it hides a wall-clock read inside the helper.
+func ObserveElapsed(start time.Time) float64 {
+	return time.Now().Sub(start).Seconds() // want "time.Now in the deterministic core"
+}
+
+// MeasuredViaClock is the accepted idiom: the caller supplies the Clock and
+// the fixture computes elapsed time from two Now calls on it. Not flagged.
+func MeasuredViaClock(c Clock, start time.Time) float64 {
+	return c.Now().Sub(start).Seconds()
+}

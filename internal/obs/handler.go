@@ -1,0 +1,17 @@
+package obs
+
+import "net/http"
+
+// textContentType is the Prometheus text exposition content type.
+const textContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Handler serves the registry as a Prometheus scrape target: the body of
+// GET /metrics. Rendering is deterministic (sorted families and labels), so
+// two scrapes under a frozen clock differ only in the counter values that
+// actually changed.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", textContentType)
+		r.WriteText(w)
+	})
+}

@@ -26,14 +26,14 @@ go"$want_go" | go"$want_go".*) ;;
   ;;
 esac
 
-BENCH="${BENCH:-BenchmarkTable1Figure1|BenchmarkScheduleRunParallel|BenchmarkScheduleParallelPaths|BenchmarkListSchedule120|BenchmarkListschedInner|BenchmarkValidateParallel|BenchmarkFig5Sweep|BenchmarkStrategies|BenchmarkTabuInner}"
+BENCH="${BENCH:-BenchmarkTable1Figure1|BenchmarkScheduleRunParallel|BenchmarkScheduleParallelPaths|BenchmarkListSchedule120|BenchmarkListschedInner|BenchmarkValidateParallel|BenchmarkFig5Sweep|BenchmarkStrategies|BenchmarkTabuInner|BenchmarkScheduleUninstrumented|BenchmarkScheduleInstrumented|BenchmarkMiddlewareOnly|BenchmarkMetricsScrape}"
 BENCHTIME="${BENCHTIME:-1s}"
 NOTE="${NOTE:-}"
 
 tmp=$(mktemp BENCH_results.json.XXXXXX)
 trap 'rm -f "$tmp"' EXIT
 
-go test -run=NONE -bench "$BENCH" -benchmem -benchtime "$BENCHTIME" . \
+go test -run=NONE -bench "$BENCH" -benchmem -benchtime "$BENCHTIME" . ./internal/httpserver \
   | tee /dev/stderr \
   | go run ./cmd/benchjson -note "$NOTE" >"$tmp"
 mv "$tmp" BENCH_results.json

@@ -1,9 +1,23 @@
 #!/usr/bin/env bash
-# Smoke-test the cpgserve HTTP server end to end: build and start it, wait
-# for /healthz, POST the Figure 1 problem document twice, and verify that
-# (1) the served schedule table is byte-identical to the golden table of
-# testdata/figure1_golden.txt and (2) the second identical request is
-# answered from the memo cache (observable in the response's cache counters).
+# Smoke-test the cpgserve HTTP server end to end, in two phases.
+#
+# Phase 1 (correctness): build and start cpgserve, wait for /healthz, POST the
+# Figure 1 problem document twice, and verify that (1) the served schedule
+# table is byte-identical to the golden table of testdata/figure1_golden.txt
+# and (2) the second identical request is answered from the memo cache
+# (observable in the response's cache counters).
+#
+# Phase 2 (observability + overload): start a second instance with a single
+# worker and -limit-heavy 1, launch a large sweep to occupy the one heavy
+# slot, and while it runs:
+#   - scrape /metrics mid-sweep and require the core metric families plus a
+#     well-formed Prometheus text exposition;
+#   - POST a second sweep and require it to be shed with 429 (never a 5xx),
+#     a Retry-After header and the JSON error envelope;
+#   - POST the Figure 1 document and require the golden table byte-identical
+#     even while the server is shedding heavy load.
+# After the sweep completes, the final scrape must show the shed counted and
+# the in-flight gauges back at zero.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -50,3 +64,136 @@ if sol2["tableText"] != sol1["tableText"]:
     sys.exit("cached solution differs from the computed one")
 print("serve smoke OK: table matches golden, second request served from cache")
 PY
+
+kill "$PID" 2>/dev/null || true
+wait "$PID" 2>/dev/null || true
+
+# ---------------------------------------------------------------------------
+# Phase 2: /metrics mid-sweep + deterministic overload shedding.
+# One worker makes the big sweep slow enough to scrape mid-flight, and
+# -limit-heavy 1 means the second concurrent sweep MUST be shed.
+ADDR2="127.0.0.1:${CPGSERVE_OVERLOAD_PORT:-8380}"
+"$BIN" -addr "$ADDR2" -workers 1 -limit-heavy 1 &
+PID="$!"
+
+for _ in $(seq 1 50); do
+  if curl -fsS "http://$ADDR2/healthz" >/dev/null 2>&1; then
+    break
+  fi
+  sleep 0.1
+done
+
+# A single 500-node/16-path cell with 20 graphs runs for roughly a second on
+# one worker: a wide, reliable window to observe it in flight.
+cat > "$OUT/sweep_big.json" <<'JSON'
+{
+  "version": "v1",
+  "nodes": [500],
+  "paths": [16],
+  "graphsPerCell": 20,
+  "seed": 7,
+  "shardIndex": 0,
+  "shardCount": 1
+}
+JSON
+
+curl -fsS -X POST --data-binary @"$OUT/sweep_big.json" \
+  "http://$ADDR2/v1/sweep" > "$OUT/sweep_big_out.json" &
+SWEEP_PID=$!
+
+# Scrape /metrics until the sweep is visibly in flight.
+IN_FLIGHT=0
+for _ in $(seq 1 100); do
+  curl -fsS "http://$ADDR2/metrics" > "$OUT/metrics_mid.txt" || true
+  if grep -q 'cpg_http_in_flight{class="heavy"} 1' "$OUT/metrics_mid.txt"; then
+    IN_FLIGHT=1
+    break
+  fi
+  sleep 0.02
+done
+if [ "$IN_FLIGHT" != 1 ]; then
+  echo "serve smoke FAILED: never observed the sweep in flight on /metrics" >&2
+  exit 1
+fi
+
+# Mid-sweep exposition: core families present and the text format well-formed.
+OUT="$OUT" python3 - <<'PY'
+import os, re, sys
+
+text = open(os.environ["OUT"] + "/metrics_mid.txt").read()
+for family in [
+    "cpg_http_requests_total",
+    "cpg_http_request_duration_seconds",
+    "cpg_http_in_flight",
+    "cpg_http_shed_total",
+    "cpg_http_uptime_seconds",
+    "cpg_service_requests_total",
+    "cpg_service_memo_hits_total",
+    "cpg_service_worker_budget",
+    "cpg_service_sweep_shards_running",
+]:
+    if f"# TYPE {family} " not in text:
+        sys.exit(f"mid-sweep /metrics is missing family {family}")
+
+sample = re.compile(r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9][0-9eE+.-]*$')
+for line in text.splitlines():
+    if not line or line.startswith("#"):
+        continue
+    if not sample.match(line):
+        sys.exit(f"malformed exposition line: {line!r}")
+print("serve smoke OK: /metrics answered mid-sweep with all core families")
+PY
+
+# The heavy slot is occupied: a second sweep must be shed with 429 — never a
+# 5xx — carrying Retry-After and the JSON error envelope.
+SHED_CODE=$(curl -sS -o "$OUT/shed_body.json" -D "$OUT/shed_headers.txt" \
+  -w '%{http_code}' -X POST --data-binary @"$OUT/sweep_big.json" \
+  "http://$ADDR2/v1/sweep")
+if [ "$SHED_CODE" != 429 ]; then
+  echo "serve smoke FAILED: overloaded sweep returned $SHED_CODE, want 429" >&2
+  exit 1
+fi
+grep -qi '^Retry-After: [0-9]' "$OUT/shed_headers.txt" || {
+  echo "serve smoke FAILED: 429 response has no Retry-After header" >&2
+  exit 1
+}
+python3 -c 'import json,sys; d=json.load(open(sys.argv[1])); sys.exit(0 if d["error"]["status"]==429 and d["error"]["message"] else "bad envelope")' \
+  "$OUT/shed_body.json"
+
+# Light endpoints are untouched by heavy-class shedding: the golden table is
+# still byte-identical while the sweep runs and sheds.
+curl -fsS -X POST --data-binary @testdata/figure1_v1.json \
+  "http://$ADDR2/v1/schedule" > "$OUT/sol_overload.json"
+OUT="$OUT" python3 - <<'PY'
+import json, os, sys
+
+sol = json.load(open(os.environ["OUT"] + "/sol_overload.json"))
+table = open("testdata/figure1_golden.txt").read().split("deltaM=")[0]
+if sol["tableText"] != table:
+    sys.exit("table served under overload differs from testdata/figure1_golden.txt")
+print("serve smoke OK: golden table byte-identical while shedding heavy load")
+PY
+
+# The occupying sweep itself must complete cleanly.
+wait "$SWEEP_PID" || {
+  echo "serve smoke FAILED: the in-flight sweep did not complete with 200" >&2
+  exit 1
+}
+python3 -c 'import json,sys; d=json.load(open(sys.argv[1])); sys.exit(0 if len(d["graphs"])==20 else "wrong graph count")' \
+  "$OUT/sweep_big_out.json"
+
+# Settled state: the shed was counted and every in-flight gauge is back to 0.
+curl -fsS "http://$ADDR2/metrics" > "$OUT/metrics_after.txt"
+grep -q 'cpg_http_shed_total{class="heavy",reason="overload"} 1' "$OUT/metrics_after.txt" || {
+  echo "serve smoke FAILED: shed not counted in cpg_http_shed_total" >&2
+  exit 1
+}
+grep -q 'cpg_http_in_flight{class="heavy"} 0' "$OUT/metrics_after.txt" || {
+  echo "serve smoke FAILED: heavy in-flight gauge did not return to 0" >&2
+  exit 1
+}
+grep -q 'cpg_http_in_flight{class="light"} 0' "$OUT/metrics_after.txt" || {
+  echo "serve smoke FAILED: light in-flight gauge did not return to 0" >&2
+  exit 1
+}
+echo "serve smoke OK: sheds were 429 (never 5xx), gauges settled, sweep completed"
