@@ -31,7 +31,13 @@
 // -probe-interval D probes every backend's /healthz periodically, evicting
 // dead backends from dispatch and re-admitting them when they recover;
 // -journal DIR spools every completed shard to disk so a killed coordinator,
-// restarted with the same flags, re-dispatches only the missing shards. For
+// restarted with the same flags, re-dispatches only the missing shards.
+// Backends stream their shards graph by graph (POST /v1/sweep?stream=1;
+// servers that predate streaming transparently fall back to whole-shard
+// responses), so a backend dying mid-shard costs only the unreceived graphs
+// on retry — and with -journal, the received ones survive a coordinator
+// restart in per-shard partial spools. -stream=false forces whole-shard
+// (unary) responses everywhere. For
 // offline sharding, -shard i/N runs one shard and writes its partial result
 // document to stdout, and -merge a.json,b.json,... recombines saved
 // partials. -metrics-addr ADDR serves the coordinator's counters (shard
@@ -91,6 +97,7 @@ func run(args []string, out io.Writer) error {
 	remote := fs.String("remote", "", "comma-separated cpgserve base URLs executing sweep shards (empty = in-process)")
 	shardTimeout := fs.Duration("shard-timeout", distrib.DefaultShardTimeout, "per-attempt time limit of one shard on one backend before it fails over (negative = unbounded)")
 	journalDir := fs.String("journal", "", "spool completed sweep shards to this directory and resume from it on restart (coordinator mode)")
+	stream := fs.Bool("stream", true, "stream shard results graph by graph from the backends (false = whole-shard unary responses)")
 	probeInterval := fs.Duration("probe-interval", 0, "health-probe period of the coordinator's backend registry (0 = probe only via shard attempts)")
 	metricsAddr := fs.String("metrics-addr", "", "serve the sweep coordinator's Prometheus metrics on this address (e.g. :9090) for the duration of the run")
 	shardSpec := fs.String("shard", "", "run only shard i/N of the sweep and write its partial result document to stdout (offline sharding)")
@@ -210,6 +217,7 @@ func run(args []string, out io.Writer) error {
 			journalDir:    *journalDir,
 			probeInterval: *probeInterval,
 			progress:      *progress,
+			stream:        *stream,
 			metrics:       serveSweepMetrics(*metricsAddr),
 		})
 		if err != nil {
@@ -318,6 +326,7 @@ type sweepRunOpts struct {
 	journalDir    string
 	probeInterval time.Duration
 	progress      bool
+	stream        bool
 	metrics       *distrib.Metrics // nil = unobserved
 }
 
@@ -384,6 +393,11 @@ func runCoordinated(cfg expr.SweepConfig, opts sweepRunOpts) ([]expr.Cell, error
 		}
 		backends = []distrib.Backend{distrib.InProcess{Service: svc}}
 	}
+	if !opts.stream {
+		for i, b := range backends {
+			backends[i] = unaryOnly{b}
+		}
+	}
 	shards := opts.shards
 	if shards < 1 {
 		shards = max(1, len(backends))
@@ -428,6 +442,25 @@ func runCoordinated(cfg expr.SweepConfig, opts sweepRunOpts) ([]expr.Cell, error
 		go reg.RunProbes(probeCtx)
 	}
 	return co.Run(ctx, cfg)
+}
+
+// unaryOnly hides a backend's streaming side (-stream=false): the embedded
+// interface promotes only Name and RunShard, so the coordinator's
+// StreamBackend assertion fails and every shard arrives as one whole
+// response. Health probes still pass through.
+type unaryOnly struct{ distrib.Backend }
+
+// Probe implements distrib.HealthProber by delegation (a backend without its
+// own prober reports alive with unknown capacity — the registry's default
+// for unprobeable backends).
+func (u unaryOnly) Probe(ctx context.Context) (distrib.ProbeInfo, error) {
+	if p, ok := u.Backend.(distrib.HealthProber); ok {
+		return p.Probe(ctx)
+	}
+	if err := ctx.Err(); err != nil {
+		return distrib.ProbeInfo{}, err
+	}
+	return distrib.ProbeInfo{}, nil
 }
 
 // writeShardPartial runs one shard of the sweep (the "i/N" spec) and writes

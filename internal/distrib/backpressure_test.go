@@ -57,9 +57,12 @@ func TestHTTPBackendMapsShedsToBackpressure(t *testing.T) {
 	}
 }
 
-// TestParseRetryAfter pins the delay-seconds parsing, including the
-// no-hint fallbacks.
+// TestParseRetryAfter pins both RFC 9110 Retry-After forms — delay-seconds
+// and HTTP-date — plus the no-hint fallbacks for garbage and past dates.
+// "Now" is injected via obs.Clock so the date arithmetic is deterministic.
 func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2015, time.October, 21, 7, 28, 0, 0, time.UTC)
+	clock := obs.NewFakeClock(now)
 	for _, tc := range []struct {
 		in   string
 		want time.Duration
@@ -69,11 +72,20 @@ func TestParseRetryAfter(t *testing.T) {
 		{"0", 0},
 		{"", 0},
 		{"-5", 0},
+		{"soon", 0},
+		{"Wed, 21 Oct 2015 07:28:30 GMT", 30 * time.Second},
 		{"Wed, 21 Oct 2015 07:28:00 GMT", 0},
+		{"Wed, 21 Oct 2015 07:00:00 GMT", 0},
+		{"Wed, 32 Oct 2015 07:28:00 GMT", 0},
 	} {
-		if got := parseRetryAfter(tc.in); got != tc.want {
+		if got := parseRetryAfter(tc.in, clock); got != tc.want {
 			t.Errorf("parseRetryAfter(%q) = %v, want %v", tc.in, got, tc.want)
 		}
+	}
+	// Nil clock means wall clock: a date far in the future must still yield
+	// a positive delay without requiring a deterministic magnitude.
+	if got := parseRetryAfter("Mon, 01 Jan 2990 00:00:00 GMT", nil); got <= 0 {
+		t.Errorf("far-future HTTP-date with wall clock = %v, want > 0", got)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"slices"
 	"time"
 
 	"repro/internal/expr"
@@ -28,6 +29,13 @@ const (
 // shard (first finisher wins, the duplicate is discarded before merging); and
 // with a Journal attached, completed shards are spooled to disk and reused on
 // the next run of the same sweep.
+//
+// Backends that implement StreamBackend deliver their shard graph by graph,
+// and the coordinator accounts (and, with a Journal, spools) each graph as
+// it arrives: when a backend dies mid-shard, the retry carries a skip list
+// of the graphs already received, so only the unreceived remainder is
+// recomputed — on the retry backend and, via the partial spool, even across
+// a coordinator restart.
 type Coordinator struct {
 	// Shards is the number of shards to split the sweep into (<= 1 means a
 	// single shard covering the whole sweep).
@@ -175,7 +183,10 @@ type attemptOutcome struct {
 	shard   int
 	backend string
 	sh      *expr.ShardResult
-	err     error
+	// got is every graph this attempt streamed before it ended — on failure
+	// the salvage the retry's skip list is built from.
+	got []expr.GraphResult
+	err error
 }
 
 // shardState is the run loop's bookkeeping for one shard.
@@ -196,6 +207,12 @@ type shardState struct {
 	firstDispatch int
 	// cooling marks a shard waiting out its retry backoff.
 	cooling bool
+	// got holds the graphs already received for the shard — streamed by
+	// attempts that later died, or reloaded from a partial spool. Dispatch
+	// turns its keys into the attempt's skip list.
+	got map[expr.GraphKey]expr.GraphResult
+	// sink is the shard's open partial spool (nil without a Journal).
+	sink *partialSink
 }
 
 // sweepRun is the state of one RunShards execution: a single event loop owns
@@ -231,6 +248,7 @@ func (r *sweepRun) logf(format string, args ...any) { r.c.logf(format, args...) 
 
 func (r *sweepRun) run(ctx context.Context) ([]*expr.ShardResult, error) {
 	defer close(r.quit)
+	defer r.closeSinks()
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	r.runCtx = runCtx
@@ -300,7 +318,49 @@ func (r *sweepRun) preload() error {
 		r.c.Metrics.journalReuse(r.done)
 		r.logf("journal: reusing %d/%d completed shards, re-dispatching %d", r.done, r.count, r.count-r.done)
 	}
+	partial := 0
+	for i := 0; i < r.count; i++ {
+		if r.results[i] != nil {
+			continue
+		}
+		graphs, err := r.c.Journal.LoadPartial(r.hash, i, r.count)
+		if err != nil {
+			return err
+		}
+		if len(graphs) == 0 {
+			continue
+		}
+		got := make(map[expr.GraphKey]expr.GraphResult, len(graphs))
+		keys := make([]expr.GraphKey, 0, len(graphs))
+		for _, g := range graphs {
+			got[g.Key()] = g
+			keys = append(keys, g.Key())
+		}
+		scfg := r.cfg
+		scfg.ShardIndex, scfg.ShardCount = i, r.count
+		scfg.Skip = keys
+		if err := scfg.Normalize().ValidateSkip(); err != nil {
+			return fmt.Errorf("distrib: journal partial spool for shard %d/%d: %w", i, r.count, err)
+		}
+		r.state[i].got = got
+		partial += len(graphs)
+	}
+	if partial > 0 {
+		r.c.Metrics.partialReuse(partial)
+		r.logf("journal: reusing %d streamed graphs from partial spools", partial)
+	}
 	return nil
+}
+
+// closeSinks releases every open partial spool when the run returns (the
+// files stay on disk for the shards that did not finish).
+func (r *sweepRun) closeSinks() {
+	for i := range r.state {
+		if s := r.state[i].sink; s != nil {
+			s.close()
+			r.state[i].sink = nil
+		}
+	}
 }
 
 // dispatch hands out work to the current fleet: first the pending shards,
@@ -391,7 +451,10 @@ func (r *sweepRun) stealVictim(thief string) int {
 	return victim
 }
 
-// start launches one attempt of a shard on a backend.
+// start launches one attempt of a shard on a backend. Graphs already held
+// for the shard (streamed by a dead attempt, or reloaded from a partial
+// spool) become the attempt's skip list, so the backend computes only the
+// unreceived remainder.
 func (r *sweepRun) start(shard int, m memberView) {
 	st := &r.state[shard]
 	if st.inflight == nil {
@@ -407,17 +470,56 @@ func (r *sweepRun) start(shard int, m memberView) {
 	r.c.Metrics.attempt()
 	scfg := r.cfg
 	scfg.ShardIndex, scfg.ShardCount = shard, r.count
-	go r.attempt(shard, m.name, m.backend, scfg)
+	if len(st.got) > 0 {
+		keys := make([]expr.GraphKey, 0, len(st.got))
+		for k := range st.got {
+			keys = append(keys, k)
+		}
+		slices.SortFunc(keys, expr.CompareGraphKeys)
+		scfg.Skip = append(slices.Clone(r.cfg.Skip), keys...)
+	}
+	if r.c.Journal != nil && st.sink == nil {
+		sink, err := r.c.Journal.openPartial(r.hash, shard, r.count, keysOf(st.got))
+		if err != nil {
+			r.logf("shard %d/%d: partial spool unavailable, streaming without it: %v", shard, r.count, err)
+		} else {
+			st.sink = sink
+		}
+	}
+	go r.attempt(shard, m.name, m.backend, scfg, st.sink)
+}
+
+// keysOf returns the key set of a received-graph map.
+func keysOf(got map[expr.GraphKey]expr.GraphResult) map[expr.GraphKey]bool {
+	if len(got) == 0 {
+		return nil
+	}
+	keys := make(map[expr.GraphKey]bool, len(got))
+	for k := range got {
+		keys[k] = true
+	}
+	return keys
 }
 
 // attempt runs one shard on one backend (bounded by the shard timeout),
-// validates the result and reports the outcome to the run loop.
-func (r *sweepRun) attempt(shard int, name string, b Backend, scfg expr.SweepConfig) {
+// validates the result and reports the outcome to the run loop. Streaming
+// backends deliver graph by graph; every received graph is spooled to the
+// shard's sink (when journaling) and reported with the outcome, so a failed
+// attempt still salvages the work it finished.
+func (r *sweepRun) attempt(shard int, name string, b Backend, scfg expr.SweepConfig, sink *partialSink) {
 	actx, cancel := r.runCtx, context.CancelFunc(func() {})
 	if r.timeout > 0 {
 		actx, cancel = context.WithTimeout(r.runCtx, r.timeout)
 	}
-	sh, err := b.RunShard(actx, scfg)
+	var got []expr.GraphResult
+	sh, err := RunShardOn(actx, b, scfg, func(g expr.GraphResult) error {
+		got = append(got, g)
+		r.c.Metrics.graphStreamed()
+		if sink != nil {
+			return sink.append(g)
+		}
+		return nil
+	})
 	cancel()
 	if err == nil {
 		if verr := scfg.ValidateShardResult(sh); verr != nil {
@@ -425,7 +527,7 @@ func (r *sweepRun) attempt(shard int, name string, b Backend, scfg expr.SweepCon
 		}
 	}
 	select {
-	case r.resCh <- attemptOutcome{shard: shard, backend: name, sh: sh, err: err}:
+	case r.resCh <- attemptOutcome{shard: shard, backend: name, sh: sh, got: got, err: err}:
 	case <-r.quit:
 	}
 }
@@ -446,14 +548,27 @@ func (r *sweepRun) handle(ctx context.Context, out attemptOutcome) error {
 			r.logf("shard %d/%d duplicate completion on %s discarded (lost the steal race)", out.shard, r.count, out.backend)
 			return nil
 		}
-		r.results[out.shard] = out.sh
+		sh, err := r.completeShard(out.shard, out.sh)
+		if err != nil {
+			return err
+		}
+		r.results[out.shard] = sh
 		r.done++
 		if r.c.Journal != nil {
-			if err := r.c.Journal.Record(r.hash, out.sh); err != nil {
+			if err := r.c.Journal.Record(r.hash, sh); err != nil {
+				return err
+			}
+			if st.sink != nil {
+				st.sink.close()
+				st.sink = nil
+			}
+			if err := r.c.Journal.removePartial(r.hash, out.shard, r.count); err != nil {
 				return err
 			}
 		}
-		r.logf("shard %d/%d done on %s (%d graphs)", out.shard, r.count, out.backend, len(out.sh.Results))
+		st.got = nil
+		r.logf("shard %d/%d done on %s (%d graphs, %d salvaged earlier)",
+			out.shard, r.count, out.backend, len(sh.Results), len(sh.Results)-len(out.sh.Results))
 		return nil
 	}
 
@@ -475,6 +590,24 @@ func (r *sweepRun) handle(ctx context.Context, out attemptOutcome) error {
 	}
 	if r.results[out.shard] != nil {
 		return nil // the shard finished elsewhere; this failure is moot
+	}
+	// Salvage whatever the dead attempt streamed: the retry's skip list
+	// grows by these graphs, so only the unreceived remainder is recomputed.
+	if len(out.got) > 0 {
+		if st.got == nil {
+			st.got = make(map[expr.GraphKey]expr.GraphResult, len(out.got))
+		}
+		salvaged := 0
+		for _, g := range out.got {
+			if _, ok := st.got[g.Key()]; !ok {
+				st.got[g.Key()] = g
+				salvaged++
+			}
+		}
+		if salvaged > 0 {
+			r.logf("shard %d/%d: salvaged %d streamed graphs from the failed attempt (%d/%d held)",
+				out.shard, r.count, salvaged, len(st.got), r.shardGraphs(out.shard))
+		}
 	}
 	st.failures = append(st.failures,
 		fmt.Errorf("distrib: shard %d/%d on %s: %w", out.shard, r.count, out.backend, out.err))
@@ -513,6 +646,39 @@ func (r *sweepRun) handle(ctx context.Context, out attemptOutcome) error {
 		}
 	})
 	return nil
+}
+
+// completeShard combines a finished attempt's (possibly skip-reduced) shard
+// result with the graphs salvaged from earlier attempts and spools into the
+// full shard, reassembled in canonical order. Without salvage the attempt's
+// result already is the full shard.
+func (r *sweepRun) completeShard(shard int, sh *expr.ShardResult) (*expr.ShardResult, error) {
+	st := &r.state[shard]
+	if len(st.got) == 0 {
+		return sh, nil
+	}
+	union := make(map[expr.GraphKey]expr.GraphResult, len(st.got)+len(sh.Results))
+	for k, g := range st.got {
+		union[k] = g
+	}
+	for _, g := range sh.Results {
+		union[g.Key()] = g
+	}
+	fullCfg := r.cfg
+	fullCfg.ShardIndex, fullCfg.ShardCount = shard, r.count
+	full, err := fullCfg.Normalize().AssembleShardResult(union)
+	if err != nil {
+		return nil, fmt.Errorf("distrib: shard %d/%d: assembling salvaged graphs: %w", shard, r.count, err)
+	}
+	return full, nil
+}
+
+// shardGraphs returns one shard's total graph count (after any sweep-level
+// skip list), for log lines.
+func (r *sweepRun) shardGraphs(shard int) int {
+	scfg := r.cfg
+	scfg.ShardIndex, scfg.ShardCount = shard, r.count
+	return scfg.Normalize().ShardSize()
 }
 
 // backoff returns the delay before retry number attempt (1-based) of a

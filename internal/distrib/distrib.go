@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/expr"
+	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/textio"
 )
@@ -60,15 +61,60 @@ func IsBackpressure(err error) bool {
 	return errors.As(err, &be)
 }
 
-// parseRetryAfter reads a Retry-After header value in its delay-seconds form
-// (the only form this repo's servers emit); anything unparseable maps to
-// zero, meaning "no hint".
-func parseRetryAfter(h string) time.Duration {
-	secs, err := strconv.Atoi(strings.TrimSpace(h))
-	if err != nil || secs < 0 {
+// parseRetryAfter reads a Retry-After header value in either RFC 9110 form:
+// delay-seconds (what this repo's servers emit) or an HTTP-date (what
+// proxies and other servers may substitute). A date is converted to a delay
+// against clock.Now (nil means wall clock); negative or past values clamp to
+// zero, and anything unparseable maps to zero, meaning "no hint".
+func parseRetryAfter(h string, clock obs.Clock) time.Duration {
+	h = strings.TrimSpace(h)
+	if secs, err := strconv.Atoi(h); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	when, err := http.ParseTime(h)
+	if err != nil {
 		return 0
 	}
-	return time.Duration(secs) * time.Second
+	if clock == nil {
+		clock = obs.WallClock{}
+	}
+	if d := when.Sub(clock.Now()); d > 0 {
+		return d
+	}
+	return 0
+}
+
+// readErrorBody reads at most 4 KiB of an error response and returns the
+// most useful message it can: the envelope's message when the prefix parses
+// as the server's JSON error envelope {"error":{...}}, the raw trimmed bytes
+// otherwise. Either way the remainder of the body is drained so the
+// keep-alive connection returns to the pool.
+func readErrorBody(r io.Reader) string {
+	data, _ := io.ReadAll(io.LimitReader(r, 4<<10))
+	drainBody(r)
+	var env struct {
+		Error struct {
+			Status  int    `json:"status"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	//lint:allow strictdecode error bodies may come from proxies or older servers: best-effort envelope extraction with a raw-bytes fallback
+	if err := json.Unmarshal(data, &env); err == nil && env.Error.Message != "" {
+		return env.Error.Message
+	}
+	return string(bytes.TrimSpace(data))
+}
+
+// drainBody consumes the rest of an HTTP response body (bounded, so a
+// misbehaving server cannot pin the coordinator) before it is closed. Go's
+// transport only reuses a keep-alive connection whose body was read to EOF;
+// closing early tears the connection down and forces a fresh dial on the
+// next request — measurable churn across a long sweep's probes and retries.
+func drainBody(r io.Reader) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(r, 1<<20))
 }
 
 // DefaultShardTimeout bounds one shard attempt on one backend when
@@ -173,6 +219,9 @@ type HTTP struct {
 	// pooled client (bounded dial and response-header timeouts), never
 	// http.DefaultClient.
 	Client *http.Client
+	// Clock supplies "now" for converting HTTP-date Retry-After headers into
+	// delays. Nil means the wall clock; tests inject an obs.FakeClock.
+	Clock obs.Clock
 }
 
 // Name implements Backend.
@@ -219,20 +268,13 @@ func (b HTTP) RunShard(ctx context.Context, cfg expr.SweepConfig) (*expr.ShardRe
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
-		if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
-			return nil, &BackpressureError{
-				Status:     resp.StatusCode,
-				RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
-				Msg:        string(bytes.TrimSpace(data)),
-			}
-		}
-		return nil, fmt.Errorf("POST /v1/sweep: %s: %s", resp.Status, bytes.TrimSpace(data))
+		return nil, b.errorFor(resp)
 	}
 	doc, sh, err := textio.ReadSweepResponse(resp.Body)
 	if err != nil {
 		return nil, err
 	}
+	drainBody(resp.Body)
 	if doc.SweepHash != wantHash {
 		return nil, fmt.Errorf("server returned sweep %s for requested sweep %s (shard %d/%d): response rejected",
 			doc.SweepHash, wantHash, cfg.ShardIndex, cfg.ShardCount)
@@ -242,6 +284,21 @@ func (b HTTP) RunShard(ctx context.Context, cfg expr.SweepConfig) (*expr.ShardRe
 			sh.ShardIndex, sh.ShardCount, cfg.ShardIndex, cfg.ShardCount)
 	}
 	return sh, nil
+}
+
+// errorFor turns a non-200 sweep response into the backend error for it —
+// a BackpressureError for admission sheds, a plain error otherwise — after
+// extracting the envelope message and draining the body for reuse.
+func (b HTTP) errorFor(resp *http.Response) error {
+	msg := readErrorBody(resp.Body)
+	if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+		return &BackpressureError{
+			Status:     resp.StatusCode,
+			RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After"), b.Clock),
+			Msg:        msg,
+		}
+	}
+	return fmt.Errorf("POST /v1/sweep: %s: %s", resp.Status, msg)
 }
 
 // Probe implements HealthProber via GET /healthz. The decode is deliberately
@@ -259,8 +316,7 @@ func (b HTTP) Probe(ctx context.Context) (ProbeInfo, error) {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
-		return ProbeInfo{}, fmt.Errorf("GET /healthz: %s: %s", resp.Status, bytes.TrimSpace(data))
+		return ProbeInfo{}, fmt.Errorf("GET /healthz: %s: %s", resp.Status, readErrorBody(resp.Body))
 	}
 	var doc struct {
 		Status  string `json:"status"`
@@ -270,6 +326,7 @@ func (b HTTP) Probe(ctx context.Context) (ProbeInfo, error) {
 	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&doc); err != nil {
 		return ProbeInfo{}, fmt.Errorf("GET /healthz: %w", err)
 	}
+	drainBody(resp.Body)
 	switch doc.Status {
 	case "ok":
 		return ProbeInfo{Capacity: doc.Workers}, nil

@@ -429,3 +429,114 @@ func TestGoldenSweepUnderShedding(t *testing.T) {
 		t.Errorf("expected backpressure retries in the log:\n%s", rec.all())
 	}
 }
+
+// TestGoldenStreamTornMidShard: a streaming backend dies after delivering k
+// of its shard's n graph frames. The retry must carry a skip list of exactly
+// the k received graphs — so only the n−k unreceived ones are recomputed —
+// and the merged CSV is still byte-identical to the golden file.
+func TestGoldenStreamTornMidShard(t *testing.T) {
+	golden := goldenCSV(t)
+	scfg := expr.GoldenSweep().Normalize()
+	scfg.ShardIndex, scfg.ShardCount = 0, 2
+	n := scfg.ShardSize()
+	if n < 2 {
+		t.Fatalf("shard 0 too small for a mid-stream tear: %d graphs", n)
+	}
+	k := n / 2
+
+	flaky := &Backend{BackendName: "flaky", Streaming: true, Decide: func(shard, attempt int) Action {
+		if shard == 0 && attempt == 0 {
+			return Action{Kind: Die, AfterGraphs: k, Err: errors.New("connection reset mid-stream")}
+		}
+		return Action{}
+	}}
+	rec := &logRec{}
+	co := fastRetries(&distrib.Coordinator{
+		Shards:   2,
+		Backends: []distrib.Backend{flaky},
+		Log:      rec.logf,
+	})
+	cells, err := co.Run(context.Background(), expr.GoldenSweep())
+	if err != nil {
+		t.Fatalf("sweep with a torn stream: %v\nlog:\n%s", err, rec.all())
+	}
+	if got := cellsCSV(t, cells); got != golden {
+		t.Errorf("CSV differs from golden:\n--- golden\n%s\n--- got\n%s", golden, got)
+	}
+	if got := flaky.Attempts(0); got != 2 {
+		t.Errorf("shard 0 took %d attempts, want 2 (tear + resume)", got)
+	}
+	if got := flaky.SkipLens(0); len(got) != 2 || got[0] != 0 || got[1] != k {
+		t.Errorf("shard 0 skip lists per attempt = %v, want [0 %d] (only unreceived graphs re-dispatched)", got, k)
+	}
+	if got := flaky.GraphsStreamed(0); got != n {
+		t.Errorf("shard 0 streamed %d graph frames in total, want exactly %d (%d before the tear + %d after)", got, n, k, n-k)
+	}
+	if !rec.contains("salvaged") {
+		t.Errorf("expected a salvage line in the log:\n%s", rec.all())
+	}
+}
+
+// TestGoldenStreamPartialSpoolResume: a streaming backend tears its shard
+// after k frames and then the whole fleet dies, failing the sweep — but the
+// journal holds the k graphs in a partial spool. A restarted coordinator
+// with a fresh fleet must reload them, dispatch the shard with a skip list
+// of exactly k, and produce the golden CSV.
+func TestGoldenStreamPartialSpoolResume(t *testing.T) {
+	golden := goldenCSV(t)
+	scfg := expr.GoldenSweep().Normalize()
+	scfg.ShardIndex, scfg.ShardCount = 0, 2
+	n := scfg.ShardSize()
+	k := n / 2
+	if k == 0 {
+		t.Fatalf("shard 0 too small for a mid-stream tear: %d graphs", n)
+	}
+	dir := t.TempDir()
+	journal, err := distrib.OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	doomed := &Backend{BackendName: "doomed", Streaming: true, Decide: func(shard, attempt int) Action {
+		if shard == 0 && attempt == 0 {
+			return Action{Kind: Die, AfterGraphs: k, Err: errors.New("connection reset mid-stream")}
+		}
+		return Action{Kind: Fail, Err: errors.New("connection refused (process gone)")}
+	}}
+	rec1 := &logRec{}
+	co1 := fastRetries(&distrib.Coordinator{
+		Shards:      2,
+		Backends:    []distrib.Backend{doomed},
+		MaxAttempts: 2,
+		Journal:     journal,
+		Log:         rec1.logf,
+	})
+	if _, err := co1.Run(context.Background(), expr.GoldenSweep()); err == nil {
+		t.Fatalf("first run must fail (fleet scripted to die)\nlog:\n%s", rec1.all())
+	}
+
+	healthy := &Backend{BackendName: "healthy", Streaming: true}
+	rec2 := &logRec{}
+	co2 := fastRetries(&distrib.Coordinator{
+		Shards:   2,
+		Backends: []distrib.Backend{healthy},
+		Journal:  journal,
+		Log:      rec2.logf,
+	})
+	cells, err := co2.Run(context.Background(), expr.GoldenSweep())
+	if err != nil {
+		t.Fatalf("resumed sweep: %v\nlog:\n%s", err, rec2.all())
+	}
+	if got := cellsCSV(t, cells); got != golden {
+		t.Errorf("CSV after resume differs from golden:\n--- golden\n%s\n--- got\n%s", golden, got)
+	}
+	if !rec2.contains("partial spools") {
+		t.Errorf("expected a partial-spool reuse line in the log:\n%s", rec2.all())
+	}
+	if got := healthy.SkipLens(0); len(got) != 1 || got[0] != k {
+		t.Errorf("resumed shard 0 skip lists = %v, want [%d] (spooled graphs must not be recomputed)", got, k)
+	}
+	if got := healthy.GraphsStreamed(0); got != n-k {
+		t.Errorf("resumed shard 0 streamed %d graphs, want %d (the unreceived remainder)", got, n-k)
+	}
+}

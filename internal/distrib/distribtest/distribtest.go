@@ -10,6 +10,7 @@ package distribtest
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -53,7 +54,8 @@ const (
 	Fail
 	// Die computes the shard (the work is really done) and then returns an
 	// error — a backend killed mid-shard, after burning the time but before
-	// delivering the result.
+	// delivering the result. On a Streaming backend a Die tears the stream
+	// instead: AfterGraphs frames are delivered, then the attempt errors.
 	Die
 )
 
@@ -67,6 +69,11 @@ type Action struct {
 	Gate *Gate
 	// Err overrides the error returned by Fail and Die.
 	Err error
+	// AfterGraphs is how many graph frames a Die on a Streaming backend
+	// delivers before the attempt dies (0 = before the first frame). Ignored
+	// for other kinds and for non-streaming backends, whose Die delivers
+	// nothing.
+	AfterGraphs int
 }
 
 // Backend is a scripted in-process sweep backend. Decide picks the fate of
@@ -83,10 +90,18 @@ type Backend struct {
 	// Decide picks the action of attempt number attempt (0-based, counted
 	// per shard on this backend). Nil means every attempt Runs.
 	Decide func(shard, attempt int) Action
+	// Streaming switches RunShardStream from the compatibility path (compute
+	// unary, then replay the finished shard) to true incremental streaming:
+	// graphs are yielded as they complete, and a scripted Die tears the
+	// stream after Action.AfterGraphs frames. Off by default so existing
+	// scripted scenarios keep their pre-streaming semantics exactly.
+	Streaming bool
 	// Capacity and draining state reported by Probe (see SetProbe).
 	mu          sync.Mutex
 	attempts    map[int]int
 	completions map[int]int
+	graphs      map[int]int
+	skips       map[int][]int
 	probeErr    error
 	capacity    int
 	draining    bool
@@ -122,6 +137,25 @@ func (b *Backend) Completions(shard int) int {
 	return b.completions[shard]
 }
 
+// GraphsStreamed reports how many graph frames this backend delivered for
+// the shard — streamed live, or replayed after a unary run.
+func (b *Backend) GraphsStreamed(shard int) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.graphs[shard]
+}
+
+// SkipLens reports, per attempt in dispatch order, how many graphs the
+// coordinator asked this backend to skip for the shard — the direct
+// observable for "only the unreceived graphs were re-dispatched".
+func (b *Backend) SkipLens(shard int) []int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]int, len(b.skips[shard]))
+	copy(out, b.skips[shard])
+	return out
+}
+
 // TotalCompletions reports the delivered shard runs across all shards.
 func (b *Backend) TotalCompletions() int {
 	b.mu.Lock()
@@ -154,17 +188,20 @@ func (b *Backend) Probe(ctx context.Context) (distrib.ProbeInfo, error) {
 	return distrib.ProbeInfo{Capacity: b.capacity, Draining: b.draining}, nil
 }
 
-// RunShard implements distrib.Backend: it resolves the scripted action of
-// this attempt and really computes the shard for Run and Die.
-func (b *Backend) RunShard(ctx context.Context, cfg expr.SweepConfig) (*expr.ShardResult, error) {
+// begin records one attempt (and its skip-list size) and resolves its
+// scripted action, waiting on the action's gate.
+func (b *Backend) begin(ctx context.Context, cfg expr.SweepConfig) (Action, int, error) {
 	shard := cfg.ShardIndex
 	b.mu.Lock()
 	if b.attempts == nil {
 		b.attempts = make(map[int]int)
 		b.completions = make(map[int]int)
+		b.graphs = make(map[int]int)
+		b.skips = make(map[int][]int)
 	}
 	attempt := b.attempts[shard]
 	b.attempts[shard]++
+	b.skips[shard] = append(b.skips[shard], len(cfg.Skip))
 	b.mu.Unlock()
 
 	var act Action
@@ -173,29 +210,114 @@ func (b *Backend) RunShard(ctx context.Context, cfg expr.SweepConfig) (*expr.Sha
 	}
 	if act.Gate != nil {
 		if err := act.Gate.Wait(ctx); err != nil {
-			return nil, err
+			return act, attempt, err
 		}
 	}
-	scriptedErr := func() error {
-		if act.Err != nil {
-			return act.Err
-		}
-		return fmt.Errorf("distribtest: scripted failure of %s (shard %d, attempt %d)", b.BackendName, shard, attempt)
+	return act, attempt, nil
+}
+
+// scriptedErr resolves the error a Fail or Die returns.
+func (b *Backend) scriptedErr(act Action, shard, attempt int) error {
+	if act.Err != nil {
+		return act.Err
+	}
+	return fmt.Errorf("distribtest: scripted failure of %s (shard %d, attempt %d)", b.BackendName, shard, attempt)
+}
+
+// RunShard implements distrib.Backend: it resolves the scripted action of
+// this attempt and really computes the shard for Run and Die.
+func (b *Backend) RunShard(ctx context.Context, cfg expr.SweepConfig) (*expr.ShardResult, error) {
+	act, attempt, err := b.begin(ctx, cfg)
+	if err != nil {
+		return nil, err
 	}
 	if act.Kind == Fail {
-		return nil, scriptedErr()
+		return nil, b.scriptedErr(act, cfg.ShardIndex, attempt)
 	}
 	sh, err := b.compute(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
 	if act.Kind == Die {
-		return nil, scriptedErr()
+		return nil, b.scriptedErr(act, cfg.ShardIndex, attempt)
+	}
+	b.mu.Lock()
+	b.completions[cfg.ShardIndex]++
+	b.mu.Unlock()
+	return sh, nil
+}
+
+// errStreamTorn aborts the shard computation when a scripted Die has
+// delivered its quota of frames; RunShardStream replaces it with the
+// scripted error.
+var errStreamTorn = errors.New("distribtest: stream torn by scripted death")
+
+// RunShardStream implements distrib.StreamBackend. On a non-streaming
+// backend it computes the shard exactly like RunShard and replays the
+// finished result through yield — pacing aside, scripted scenarios observe
+// their pre-streaming semantics (a Die still delivers nothing). On a
+// Streaming backend graphs are yielded as they complete, and a scripted Die
+// stops the stream after Action.AfterGraphs frames.
+func (b *Backend) RunShardStream(ctx context.Context, cfg expr.SweepConfig, yield func(expr.GraphResult) error) (*expr.ShardResult, error) {
+	act, attempt, err := b.begin(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	shard := cfg.ShardIndex
+	if act.Kind == Fail {
+		return nil, b.scriptedErr(act, shard, attempt)
+	}
+	if !b.Streaming {
+		sh, err := b.compute(ctx, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if act.Kind == Die {
+			return nil, b.scriptedErr(act, shard, attempt)
+		}
+		for _, g := range sh.Results {
+			b.countGraph(shard)
+			if yield != nil {
+				if err := yield(g); err != nil {
+					return nil, err
+				}
+			}
+		}
+		b.mu.Lock()
+		b.completions[shard]++
+		b.mu.Unlock()
+		return sh, nil
+	}
+	delivered := 0
+	sh, err := b.computeStream(ctx, cfg, func(g expr.GraphResult) error {
+		if act.Kind == Die && delivered >= act.AfterGraphs {
+			return errStreamTorn
+		}
+		delivered++
+		b.countGraph(shard)
+		if yield != nil {
+			return yield(g)
+		}
+		return nil
+	})
+	if act.Kind == Die {
+		// Whether the tear fired mid-stream or the shard was small enough to
+		// finish first, the attempt still dies before delivering a result.
+		return nil, b.scriptedErr(act, shard, attempt)
+	}
+	if err != nil {
+		return nil, err
 	}
 	b.mu.Lock()
 	b.completions[shard]++
 	b.mu.Unlock()
 	return sh, nil
+}
+
+func (b *Backend) countGraph(shard int) {
+	b.mu.Lock()
+	b.graphs[shard]++
+	b.mu.Unlock()
 }
 
 // compute really runs the shard.
@@ -208,4 +330,16 @@ func (b *Backend) compute(ctx context.Context, cfg expr.SweepConfig) (*expr.Shar
 		return sol.Shard, nil
 	}
 	return expr.RunSweepShardContext(ctx, cfg)
+}
+
+// computeStream really runs the shard, yielding each graph as it completes.
+func (b *Backend) computeStream(ctx context.Context, cfg expr.SweepConfig, yield func(expr.GraphResult) error) (*expr.ShardResult, error) {
+	if b.Service != nil {
+		sol, err := b.Service.SweepShardStream(ctx, cfg, yield)
+		if err != nil {
+			return nil, err
+		}
+		return sol.Shard, nil
+	}
+	return expr.RunSweepShardStream(ctx, cfg, yield)
 }

@@ -1,0 +1,150 @@
+package distrib
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/expr"
+	"repro/internal/textio"
+)
+
+// This file is the journal's streaming side: while a shard streams in graph
+// by graph, its graphs are appended to a per-shard spool
+//
+//	<root>/<sweep-hash>/partial-<index>-of-<count>.ndjson
+//
+// an append-only WAL of graph frames (the same NDJSON frame format the wire
+// uses, without header or summary — coverage bookkeeping lives in the
+// coordinator, which knows which graphs it holds). When the shard completes,
+// the full shard document is recorded and the spool removed; when the
+// coordinator (or the whole process) dies mid-shard, the spool seeds the
+// next run's skip list so only the unreceived graphs are re-dispatched.
+//
+// A crash can tear at most the trailing line (appends are single writes),
+// so a torn tail is tolerated and dropped; a corrupt line anywhere else
+// means real damage and fails loudly, like a corrupt shard document.
+
+// partialFile names the streaming spool file of one shard.
+func partialFile(index, count int) string {
+	return fmt.Sprintf("partial-%05d-of-%05d.ndjson", index, count)
+}
+
+// partialSink is an open streaming spool for one shard. Appends are
+// serialized and deduplicated by graph key, so concurrent attempts of the
+// same shard (a steal race) spool each graph once no matter who yields it
+// first — results are deterministic, the duplicate bytes would be identical.
+type partialSink struct {
+	mu   sync.Mutex
+	f    *os.File
+	seen map[expr.GraphKey]bool
+}
+
+// openPartial opens (creating if needed) the streaming spool of one shard
+// for appending. Graphs whose keys are in seen are already spooled — the
+// preloaded ones — and will not be written again.
+func (j *Journal) openPartial(hash string, index, count int, seen map[expr.GraphKey]bool) (*partialSink, error) {
+	if hash == "" {
+		return nil, errors.New("distrib: journal: empty sweep hash")
+	}
+	dir := j.dir(hash)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("distrib: journal: %w", err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, partialFile(index, count)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("distrib: journal: %w", err)
+	}
+	s := &partialSink{f: f, seen: make(map[expr.GraphKey]bool, len(seen))}
+	for k := range seen {
+		s.seen[k] = true
+	}
+	return s, nil
+}
+
+// append spools one streamed graph (a repeat of an already-spooled key is a
+// no-op). Each graph is one whole single-write NDJSON line, so a crash can
+// tear only the file's tail.
+func (s *partialSink) append(g expr.GraphResult) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.seen[g.Key()] {
+		return nil
+	}
+	line, err := textio.MarshalFrame(&textio.GraphResultDoc{
+		Frame: textio.FrameGraph,
+		Graph: textio.EncodeGraphResult(g),
+	})
+	if err != nil {
+		return fmt.Errorf("distrib: journal: %w", err)
+	}
+	if _, err := s.f.Write(line); err != nil {
+		return fmt.Errorf("distrib: journal: %w", err)
+	}
+	s.seen[g.Key()] = true
+	return nil
+}
+
+// close releases the spool file (the file itself stays for LoadPartial until
+// removePartial deletes it).
+func (s *partialSink) close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Close()
+}
+
+// LoadPartial returns the graphs spooled for one unfinished shard, in spool
+// order, deduplicated by key. A missing spool is an empty (not failed) load.
+// An unterminated or unparseable trailing line is a torn append from a crash
+// and is dropped; a corrupt line before the tail, or a frame that is not a
+// graph frame, fails loudly.
+func (j *Journal) LoadPartial(hash string, index, count int) ([]expr.GraphResult, error) {
+	name := partialFile(index, count)
+	data, err := os.ReadFile(filepath.Join(j.dir(hash), name))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("distrib: journal: %w", err)
+	}
+	var out []expr.GraphResult
+	seen := make(map[expr.GraphKey]bool)
+	for len(data) > 0 {
+		nl := bytes.IndexByte(data, '\n')
+		if nl < 0 {
+			break // torn tail: an append died mid-write
+		}
+		line, rest := data[:nl+1], data[nl+1:]
+		d, err := textio.UnmarshalFrame(line)
+		if err != nil {
+			// A torn append never ends in the line's own newline, so a
+			// newline-terminated line that fails to parse is corruption
+			// wherever it sits.
+			return nil, fmt.Errorf("distrib: journal %s: graph %d: %w", name, len(out), err)
+		}
+		if d.Frame != textio.FrameGraph {
+			return nil, fmt.Errorf("distrib: journal %s: graph %d: unexpected %q frame in a partial spool", name, len(out), d.Frame)
+		}
+		g := textio.DecodeGraphResult(d.Graph)
+		if !seen[g.Key()] {
+			seen[g.Key()] = true
+			out = append(out, g)
+		}
+		data = rest
+	}
+	return out, nil
+}
+
+// removePartial deletes the streaming spool of a shard whose full document
+// is recorded (already-gone is fine).
+func (j *Journal) removePartial(hash string, index, count int) error {
+	err := os.Remove(filepath.Join(j.dir(hash), partialFile(index, count)))
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("distrib: journal: %w", err)
+	}
+	return nil
+}

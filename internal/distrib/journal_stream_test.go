@@ -1,0 +1,129 @@
+package distrib
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/expr"
+)
+
+// TestPartialSpoolRoundTrip pins the streaming spool: appended graphs come
+// back in order, duplicates (steal races) are spooled once, and removal
+// clears the shard's spool.
+func TestPartialSpoolRoundTrip(t *testing.T) {
+	j, err := OpenJournal(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := expr.GoldenSweep().Normalize()
+	cfg.ShardIndex, cfg.ShardCount = 0, 2
+	sh, err := expr.RunSweepShard(cfg)
+	if err != nil {
+		t.Fatalf("RunSweepShard: %v", err)
+	}
+	if len(sh.Results) < 2 {
+		t.Fatalf("shard too small: %d graphs", len(sh.Results))
+	}
+	const hash = "deadbeef"
+	sink, err := j.openPartial(hash, 0, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range sh.Results[:2] {
+		if err := sink.append(g); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	if err := sink.append(sh.Results[0]); err != nil { // duplicate: no-op
+		t.Fatalf("duplicate append: %v", err)
+	}
+	if err := sink.close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := j.LoadPartial(hash, 0, 2)
+	if err != nil {
+		t.Fatalf("LoadPartial: %v", err)
+	}
+	if len(got) != 2 || got[0].Key() != sh.Results[0].Key() || got[1].Key() != sh.Results[1].Key() {
+		t.Fatalf("LoadPartial returned %d graphs %v, want the 2 appended", len(got), got)
+	}
+	// The full-shard loader must not mistake the spool for a shard document.
+	full, err := j.Load(hash, 2)
+	if err != nil {
+		t.Fatalf("Load alongside a partial spool: %v", err)
+	}
+	if len(full) != 0 {
+		t.Fatalf("Load returned %d shards from a spool-only directory", len(full))
+	}
+	if err := j.removePartial(hash, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := j.LoadPartial(hash, 0, 2); err != nil || len(got) != 0 {
+		t.Fatalf("after removal: %d graphs, err %v; want empty", len(got), err)
+	}
+	if err := j.removePartial(hash, 0, 2); err != nil {
+		t.Fatalf("removing an already-removed spool must be a no-op: %v", err)
+	}
+}
+
+// TestPartialSpoolTornTail pins the WAL crash rule: an unterminated trailing
+// line (an append cut short) is dropped silently, while a corrupt line
+// anywhere before the tail fails loudly.
+func TestPartialSpoolTornTail(t *testing.T) {
+	j, err := OpenJournal(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := expr.GoldenSweep().Normalize()
+	cfg.ShardIndex, cfg.ShardCount = 0, 2
+	sh, err := expr.RunSweepShard(cfg)
+	if err != nil {
+		t.Fatalf("RunSweepShard: %v", err)
+	}
+	const hash = "deadbeef"
+	sink, err := j.openPartial(hash, 0, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.append(sh.Results[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(j.Root(), hash, partialFile(0, 2))
+
+	// A torn trailing append: half a frame, no newline.
+	clean, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(append([]byte{}, clean...), []byte(`{"frame":"graph","gra`)...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := j.LoadPartial(hash, 0, 2)
+	if err != nil {
+		t.Fatalf("torn tail must be tolerated: %v", err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("torn-tail load returned %d graphs, want the 1 whole one", len(got))
+	}
+
+	// Corruption before the tail: loud failure.
+	if err := os.WriteFile(path, append([]byte("not json\n"), clean...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.LoadPartial(hash, 0, 2); err == nil || !strings.Contains(err.Error(), "journal") {
+		t.Fatalf("corrupt middle line must fail loudly, got %v", err)
+	}
+
+	// A non-graph frame in the spool is corruption too.
+	if err := os.WriteFile(path, append([]byte(`{"frame":"summary","summary":{"graphs":1}}`+"\n"), clean...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.LoadPartial(hash, 0, 2); err == nil || !strings.Contains(err.Error(), "unexpected") {
+		t.Fatalf("non-graph frame must fail loudly, got %v", err)
+	}
+}

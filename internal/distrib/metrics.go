@@ -21,6 +21,8 @@ import (
 //	cpg_distrib_steals_total          speculative re-dispatches of slow shards
 //	cpg_distrib_duplicates_total      duplicate completions discarded after a steal
 //	cpg_distrib_journal_reused_total  shards reused from the journal instead of re-run
+//	cpg_distrib_graphs_streamed_total graphs received over streaming shard attempts
+//	cpg_distrib_partial_reused_total  graphs reused from partial spools instead of re-run
 //	cpg_distrib_probe_failures_total  failed health probes
 //	cpg_distrib_evictions_total       backends evicted after consecutive failures
 //	cpg_distrib_readmissions_total    evicted backends re-admitted
@@ -33,6 +35,8 @@ type Metrics struct {
 	steals        *obs.Counter
 	duplicates    *obs.Counter
 	journalReused *obs.Counter
+	graphsStream  *obs.Counter
+	partialReused *obs.Counter
 	probeFailures *obs.Counter
 	evictions     *obs.Counter
 	readmissions  *obs.Counter
@@ -58,6 +62,10 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 			"Duplicate shard completions discarded after a lost steal race."),
 		journalReused: reg.Counter("cpg_distrib_journal_reused_total",
 			"Shards reused from the journal instead of re-dispatched."),
+		graphsStream: reg.Counter("cpg_distrib_graphs_streamed_total",
+			"Graphs received incrementally over streaming shard attempts."),
+		partialReused: reg.Counter("cpg_distrib_partial_reused_total",
+			"Graphs reused from partial journal spools instead of re-dispatched."),
 		probeFailures: reg.Counter("cpg_distrib_probe_failures_total",
 			"Failed backend health probes."),
 		evictions: reg.Counter("cpg_distrib_evictions_total",
@@ -107,6 +115,18 @@ func (m *Metrics) duplicate() {
 func (m *Metrics) journalReuse(n int) {
 	if m != nil {
 		m.journalReused.Add(int64(n))
+	}
+}
+
+func (m *Metrics) graphStreamed() {
+	if m != nil {
+		m.graphsStream.Inc()
+	}
+}
+
+func (m *Metrics) partialReuse(n int) {
+	if m != nil {
+		m.partialReused.Add(int64(n))
 	}
 }
 

@@ -1,0 +1,176 @@
+package distrib
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/textio"
+)
+
+// StreamBackend is implemented by backends that can stream a shard's graphs
+// back incrementally instead of blocking until the whole shard is done. The
+// coordinator journals and merges graph by graph from such backends, so when
+// one dies mid-shard only the unreceived graphs need re-dispatching (via
+// SweepConfig.Skip).
+type StreamBackend interface {
+	Backend
+	// RunShardStream executes the shard selected by cfg, calling yield once
+	// per completed graph (serialized, never concurrently) before returning
+	// the assembled shard result. A yield error aborts the run. yield may be
+	// nil, degrading to RunShard semantics.
+	RunShardStream(ctx context.Context, cfg expr.SweepConfig, yield func(expr.GraphResult) error) (*expr.ShardResult, error)
+}
+
+// RunShardOn executes cfg's shard on b, streaming graphs through yield when
+// the backend supports it and replaying the finished shard through yield
+// (canonical order) when it only speaks unary — callers observe the same
+// per-graph sequence either way, just with different latency.
+func RunShardOn(ctx context.Context, b Backend, cfg expr.SweepConfig, yield func(expr.GraphResult) error) (*expr.ShardResult, error) {
+	if sb, ok := b.(StreamBackend); ok {
+		return sb.RunShardStream(ctx, cfg, yield)
+	}
+	sh, err := b.RunShard(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return sh, replayShard(sh, yield)
+}
+
+// replayShard feeds an already-complete shard through yield in its canonical
+// (stored) order, so unary backends and streaming fallbacks present the same
+// per-graph sequence as a live stream.
+func replayShard(sh *expr.ShardResult, yield func(expr.GraphResult) error) error {
+	if yield == nil {
+		return nil
+	}
+	for _, g := range sh.Results {
+		if err := yield(g); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunShardStream implements StreamBackend: with a Service attached the shard
+// streams from the service's budget-and-memo path (a memo hit replays the
+// cached graphs), without one it streams from expr directly.
+func (b InProcess) RunShardStream(ctx context.Context, cfg expr.SweepConfig, yield func(expr.GraphResult) error) (*expr.ShardResult, error) {
+	if b.Service != nil {
+		sol, err := b.Service.SweepShardStream(ctx, cfg, yield)
+		if err != nil {
+			return nil, err
+		}
+		return sol.Shard, nil
+	}
+	return expr.RunSweepShardStream(ctx, cfg, yield)
+}
+
+// RunShardStream implements StreamBackend over POST /v1/sweep?stream=1. It
+// verifies the stream header's sweep hash and shard coordinates before the
+// first graph is yielded — a stale or misrouted server is rejected before
+// anything it says can be journaled — and relies on the strict stream reader
+// to turn torn streams into loud errors. Servers that predate streaming are
+// handled transparently: a 404/405/400/501 answer and a 200 that ignored the
+// query parameter (plain JSON body) both fall back to the unary path, with
+// the finished shard replayed through yield.
+func (b HTTP) RunShardStream(ctx context.Context, cfg expr.SweepConfig, yield func(expr.GraphResult) error) (*expr.ShardResult, error) {
+	cfg = cfg.Normalize()
+	reqDoc := textio.EncodeSweepRequest(cfg)
+	wantHash, err := textio.SweepHash(reqDoc)
+	if err != nil {
+		return nil, err
+	}
+	var body bytes.Buffer
+	if err := textio.WriteSweepRequest(&body, reqDoc); err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.baseURL()+"/v1/sweep?stream=1", &body)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := b.client().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusBadRequest, http.StatusNotFound, http.StatusMethodNotAllowed, http.StatusNotImplemented:
+		// An old server that rejects the parameter, an old mux without the
+		// route, or a non-flushable hop: fall back to the unary endpoint. A
+		// genuinely bad request fails there with the authoritative envelope.
+		drainBody(resp.Body)
+		resp.Body.Close()
+		sh, err := b.RunShard(ctx, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return sh, replayShard(sh, yield)
+	default:
+		return nil, b.errorFor(resp)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/x-ndjson") {
+		// 200 but not a frame stream: an old server ignored ?stream=1 and
+		// answered the unary document on this very response.
+		doc, sh, err := textio.ReadSweepResponse(resp.Body)
+		if err != nil {
+			return nil, err
+		}
+		drainBody(resp.Body)
+		if err := checkShardIdentity(wantHash, doc.SweepHash, cfg, sh.ShardIndex, sh.ShardCount); err != nil {
+			return nil, err
+		}
+		return sh, replayShard(sh, yield)
+	}
+	sr, err := textio.NewSweepStreamReader(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	h := sr.Header()
+	if err := checkShardIdentity(wantHash, h.SweepHash, cfg, h.ShardIndex, h.ShardCount); err != nil {
+		return nil, err
+	}
+	got := make(map[expr.GraphKey]expr.GraphResult, h.Graphs)
+	for {
+		g, err := sr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		got[g.Key()] = g
+		if yield != nil {
+			if err := yield(g); err != nil {
+				return nil, err
+			}
+		}
+	}
+	drainBody(resp.Body)
+	sh, err := cfg.AssembleShardResult(got)
+	if err != nil {
+		return nil, fmt.Errorf("streamed shard %d/%d: %w", cfg.ShardIndex, cfg.ShardCount, err)
+	}
+	return sh, nil
+}
+
+// checkShardIdentity rejects a response that answers for a different sweep
+// or different shard coordinates than requested, before any of its graphs
+// can reach a journal or MergeCells.
+func checkShardIdentity(wantHash, gotHash string, cfg expr.SweepConfig, gotIndex, gotCount int) error {
+	if gotHash != wantHash {
+		return fmt.Errorf("server returned sweep %s for requested sweep %s (shard %d/%d): response rejected",
+			gotHash, wantHash, cfg.ShardIndex, cfg.ShardCount)
+	}
+	if gotIndex != cfg.ShardIndex || gotCount != cfg.ShardCount {
+		return fmt.Errorf("server returned shard %d/%d for requested shard %d/%d",
+			gotIndex, gotCount, cfg.ShardIndex, cfg.ShardCount)
+	}
+	return nil
+}

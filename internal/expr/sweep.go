@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"slices"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -74,6 +75,14 @@ type SweepConfig struct {
 	// run produces, byte for byte.
 	ShardIndex int
 	ShardCount int
+	// Skip lists graphs of the selected shard that are NOT to be computed
+	// (and not to be covered by the shard's result): a streaming coordinator
+	// that already received k of the shard's graphs before the backend died
+	// re-dispatches the shard with those k listed here, so only the
+	// unreceived remainder is recomputed. Every entry must belong to the
+	// shard; Skip never changes per-graph results (seeds depend only on the
+	// coordinates), so it is excluded from the sweep content hash.
+	Skip []GraphKey
 }
 
 // Normalize fills defaults. It is idempotent: normalizing a normalized
@@ -94,6 +103,12 @@ func (c SweepConfig) Normalize() SweepConfig {
 	}
 	if c.ShardCount <= 0 {
 		c.ShardCount = 1
+	}
+	if len(c.Skip) > 0 {
+		// Canonical (sorted) skip order, so encoding a normalized config is
+		// deterministic regardless of the order graphs were received in.
+		c.Skip = slices.Clone(c.Skip)
+		slices.SortFunc(c.Skip, CompareGraphKeys)
 	}
 	return c
 }
@@ -218,47 +233,115 @@ func shardOf(nodes, paths, index, count int) int {
 	return int(h % uint64(count))
 }
 
-// sweepJob identifies one graph of the sweep.
-type sweepJob struct {
-	nodes, paths, index int
+// GraphKey identifies one graph of a sweep by its cell coordinates. It is
+// the unit of streaming, skipping and partial-result accounting: per-graph
+// seeds depend only on the key (and the sweep seed), so a graph recomputed
+// anywhere under any parallelism produces the same GraphResult.
+type GraphKey struct {
+	Nodes int
+	Paths int
+	Index int
+}
+
+// CompareGraphKeys orders keys canonically: nodes-major, then paths, then
+// index — the aggregation order of the sweep.
+func CompareGraphKeys(a, b GraphKey) int {
+	switch {
+	case a.Nodes != b.Nodes:
+		return a.Nodes - b.Nodes
+	case a.Paths != b.Paths:
+		return a.Paths - b.Paths
+	default:
+		return a.Index - b.Index
+	}
+}
+
+// Key returns the graph's cell coordinates.
+func (g GraphResult) Key() GraphKey {
+	return GraphKey{Nodes: g.Nodes, Paths: g.Paths, Index: g.Index}
 }
 
 // allJobs enumerates every graph of the (normalized) sweep in canonical
 // order: nodes-major, then paths, then index. Aggregation always follows this
 // order, which is what makes the cells bit-identical across worker counts and
 // shard layouts (float sums are order-sensitive).
-func (c SweepConfig) allJobs() []sweepJob {
-	jobs := make([]sweepJob, 0, len(c.Nodes)*len(c.Paths)*c.GraphsPerCell)
+func (c SweepConfig) allJobs() []GraphKey {
+	jobs := make([]GraphKey, 0, len(c.Nodes)*len(c.Paths)*c.GraphsPerCell)
 	for _, nodes := range c.Nodes {
 		for _, paths := range c.Paths {
 			for i := 0; i < c.GraphsPerCell; i++ {
-				jobs = append(jobs, sweepJob{nodes: nodes, paths: paths, index: i})
+				jobs = append(jobs, GraphKey{Nodes: nodes, Paths: paths, Index: i})
 			}
 		}
 	}
 	return jobs
 }
 
-// shardJobs enumerates the graphs assigned to the config's shard, in
-// canonical order.
-func (c SweepConfig) shardJobs() []sweepJob {
+// shardJobs enumerates the graphs assigned to the config's shard — minus any
+// skipped ones — in canonical order.
+func (c SweepConfig) shardJobs() []GraphKey {
 	jobs := c.allJobs()
-	if c.ShardCount <= 1 {
+	if c.ShardCount > 1 {
+		var mine []GraphKey
+		for _, j := range jobs {
+			if shardOf(j.Nodes, j.Paths, j.Index, c.ShardCount) == c.ShardIndex {
+				mine = append(mine, j)
+			}
+		}
+		jobs = mine
+	}
+	if len(c.Skip) == 0 {
 		return jobs
 	}
-	var mine []sweepJob
+	skip := make(map[GraphKey]bool, len(c.Skip))
+	for _, k := range c.Skip {
+		skip[k] = true
+	}
+	kept := jobs[:0]
 	for _, j := range jobs {
-		if shardOf(j.nodes, j.paths, j.index, c.ShardCount) == c.ShardIndex {
-			mine = append(mine, j)
+		if !skip[j] {
+			kept = append(kept, j)
 		}
 	}
-	return mine
+	return kept
 }
 
-// ShardSize reports how many graphs of the sweep the config's shard covers —
-// the useful upper bound on the shard's scheduling parallelism.
+// ValidateSkip checks the Skip list (after Normalize): every entry must be a
+// graph the stable assignment puts in the config's shard, with no duplicates.
+// A foreign or duplicated skip entry means the coordinator and backend would
+// disagree about the shard's coverage, so it is rejected up front.
+func (c SweepConfig) ValidateSkip() error {
+	if len(c.Skip) == 0 {
+		return nil
+	}
+	seen := make(map[GraphKey]bool, len(c.Skip))
+	for _, k := range c.Skip {
+		if seen[k] {
+			return fmt.Errorf("expr: duplicate skip entry (%d nodes, %d paths, index %d)", k.Nodes, k.Paths, k.Index)
+		}
+		seen[k] = true
+		inGrid := slices.Contains(c.Nodes, k.Nodes) && slices.Contains(c.Paths, k.Paths) &&
+			k.Index >= 0 && k.Index < c.GraphsPerCell
+		if !inGrid || shardOf(k.Nodes, k.Paths, k.Index, c.ShardCount) != c.ShardIndex {
+			return fmt.Errorf("expr: skip entry (%d nodes, %d paths, index %d) is not a graph of shard %d/%d",
+				k.Nodes, k.Paths, k.Index, c.ShardIndex, c.ShardCount)
+		}
+	}
+	return nil
+}
+
+// ShardSize reports how many graphs of the sweep the config's shard covers
+// (skipped graphs excluded) — the useful upper bound on the shard's
+// scheduling parallelism.
 func (c SweepConfig) ShardSize() int {
 	return len(c.Normalize().shardJobs())
+}
+
+// ShardGraphs returns the canonical-order keys of the graphs the config's
+// shard covers (skipped graphs excluded) — the coverage a shard result must
+// account for, graph by graph.
+func (c SweepConfig) ShardGraphs() []GraphKey {
+	return c.Normalize().shardJobs()
 }
 
 // GraphResult is the raw measurement of one scheduled graph of the sweep,
@@ -310,18 +393,21 @@ func (c SweepConfig) ValidateShardResult(sh *ShardResult) error {
 	if err := c.validateGrid(); err != nil {
 		return err
 	}
+	if err := c.ValidateSkip(); err != nil {
+		return err
+	}
 	if sh.ShardIndex != c.ShardIndex || sh.ShardCount != c.ShardCount {
 		return fmt.Errorf("expr: shard result claims shard %d/%d; want %d/%d",
 			sh.ShardIndex, sh.ShardCount, c.ShardIndex, c.ShardCount)
 	}
 	jobs := c.shardJobs()
-	missing := make(map[sweepJob]bool, len(jobs))
+	missing := make(map[GraphKey]bool, len(jobs))
 	for _, j := range jobs {
 		missing[j] = true
 	}
 	for i := range sh.Results {
 		res := &sh.Results[i]
-		j := sweepJob{nodes: res.Nodes, paths: res.Paths, index: res.Index}
+		j := res.Key()
 		if !missing[j] {
 			return fmt.Errorf("expr: shard %d/%d result covers graph (%d nodes, %d paths, index %d) outside the shard, or twice",
 				c.ShardIndex, c.ShardCount, res.Nodes, res.Paths, res.Index)
@@ -349,11 +435,27 @@ func RunSweepShard(cfg SweepConfig) (*ShardResult, error) {
 // the shard promptly (between graphs and between merge back-steps of the
 // in-flight graphs) and returns ctx.Err().
 func RunSweepShardContext(ctx context.Context, cfg SweepConfig) (*ShardResult, error) {
+	return RunSweepShardStream(ctx, cfg, nil)
+}
+
+// RunSweepShardStream runs the config's shard like RunSweepShardContext and
+// additionally calls yield (when non-nil) once per graph as it completes, in
+// completion order. Yields are serialized (never concurrent) but may come
+// from worker goroutines; a graph is yielded before it counts toward
+// cfg.Progress. The yielded results are exactly the entries of the returned
+// ShardResult — a consumer that received every yield needs nothing from the
+// final result but its error. If yield returns an error the shard aborts
+// promptly and returns that error: a streaming server uses this to stop
+// computing when the client is gone.
+func RunSweepShardStream(ctx context.Context, cfg SweepConfig, yield func(GraphResult) error) (*ShardResult, error) {
 	cfg = cfg.Normalize()
 	if err := cfg.ValidateShard(); err != nil {
 		return nil, err
 	}
 	if err := cfg.validateGrid(); err != nil {
+		return nil, err
+	}
+	if err := cfg.ValidateSkip(); err != nil {
 		return nil, err
 	}
 	jobs := cfg.shardJobs()
@@ -370,7 +472,7 @@ func RunSweepShardContext(ctx context.Context, cfg SweepConfig) (*ShardResult, e
 	results := make([]GraphResult, len(jobs))
 	errs := make([]error, len(jobs))
 	var failed atomic.Bool
-	var mu sync.Mutex
+	var mu sync.Mutex // serializes yield + Progress across workers
 	done := 0
 	runOne := func(j int) {
 		if failed.Load() {
@@ -381,30 +483,38 @@ func RunSweepShardContext(ctx context.Context, cfg SweepConfig) (*ShardResult, e
 			failed.Store(true)
 		}
 		job := jobs[j]
-		key := stats.Key(job.nodes, job.paths)
+		key := stats.Key(job.Nodes, job.Paths)
 		if err := ctx.Err(); err != nil {
 			fail(err)
 			return
 		}
-		r := rand.New(rand.NewSource(cellSeed(cfg.Seed, job.nodes, job.paths, job.index)))
-		inst, err := cfg.Cache.Generate(gen.RandomConfig(r, job.nodes, job.paths))
+		r := rand.New(rand.NewSource(cellSeed(cfg.Seed, job.Nodes, job.Paths, job.Index)))
+		inst, err := cfg.Cache.Generate(gen.RandomConfig(r, job.Nodes, job.Paths))
 		if err != nil {
-			fail(fmt.Errorf("expr: generating graph %d of cell %s: %w", job.index, key, err))
+			fail(fmt.Errorf("expr: generating graph %d of cell %s: %w", job.Index, key, err))
 			return
 		}
 		res, err := core.ScheduleContext(ctx, inst.Graph, inst.Arch, opts)
 		if err != nil {
-			fail(fmt.Errorf("expr: scheduling graph %d of cell %s: %w", job.index, key, err))
+			fail(fmt.Errorf("expr: scheduling graph %d of cell %s: %w", job.Index, key, err))
 			return
 		}
 		results[j] = GraphResult{
-			Nodes:       job.nodes,
-			Paths:       job.paths,
-			Index:       job.index,
+			Nodes:       job.Nodes,
+			Paths:       job.Paths,
+			Index:       job.Index,
 			IncreasePct: res.IncreasePercent(),
 			MergeNs:     float64(res.Stats.MergeTime),
 			PathSchedNs: float64(res.Stats.PathSchedulingTime),
 			Violation:   !res.Deterministic(),
+		}
+		if yield != nil {
+			mu.Lock()
+			err := yield(results[j])
+			mu.Unlock()
+			if err != nil {
+				fail(fmt.Errorf("expr: streaming graph %d of cell %s: %w", job.Index, key, err))
+			}
 		}
 	}
 	finishOne := func(j int) {
@@ -433,6 +543,46 @@ func RunSweepShardContext(ctx context.Context, cfg SweepConfig) (*ShardResult, e
 		}
 	}
 	return &ShardResult{ShardIndex: cfg.ShardIndex, ShardCount: cfg.ShardCount, Results: results}, nil
+}
+
+// AssembleShardResult builds the ShardResult of the config's shard from
+// per-graph results received out of order (a streamed shard, or partials
+// replayed from a journal). The map must cover exactly the shard's graphs
+// (after Skip); gaps and foreign entries are errors, so a torn stream cannot
+// masquerade as a complete shard. The entries are laid out in canonical job
+// order — the same result a unary RunSweepShardContext returns — by walking
+// the ordered job list and looking each key up, never by ranging over the
+// map, so assembly is deterministic.
+func (c SweepConfig) AssembleShardResult(got map[GraphKey]GraphResult) (*ShardResult, error) {
+	c = c.Normalize()
+	if err := c.ValidateShard(); err != nil {
+		return nil, err
+	}
+	if err := c.validateGrid(); err != nil {
+		return nil, err
+	}
+	if err := c.ValidateSkip(); err != nil {
+		return nil, err
+	}
+	jobs := c.shardJobs()
+	results := make([]GraphResult, 0, len(jobs))
+	for _, j := range jobs {
+		res, ok := got[j]
+		if !ok {
+			return nil, fmt.Errorf("expr: assembling shard %d/%d: %d of %d graphs received, missing (%d nodes, %d paths, index %d)",
+				c.ShardIndex, c.ShardCount, len(got), len(jobs), j.Nodes, j.Paths, j.Index)
+		}
+		if res.Key() != j {
+			return nil, fmt.Errorf("expr: assembling shard %d/%d: result filed under (%d nodes, %d paths, index %d) carries coordinates (%d nodes, %d paths, index %d)",
+				c.ShardIndex, c.ShardCount, j.Nodes, j.Paths, j.Index, res.Nodes, res.Paths, res.Index)
+		}
+		results = append(results, res)
+	}
+	if len(got) > len(jobs) {
+		return nil, fmt.Errorf("expr: assembling shard %d/%d: %d results for %d graphs — foreign or skipped graphs present",
+			c.ShardIndex, c.ShardCount, len(got), len(jobs))
+	}
+	return &ShardResult{ShardIndex: c.ShardIndex, ShardCount: c.ShardCount, Results: results}, nil
 }
 
 // RunSweep generates the graphs of the sweep, produces a schedule table for
@@ -472,7 +622,7 @@ func MergeCells(cfg SweepConfig, shards []*ShardResult) ([]Cell, error) {
 		return nil, err
 	}
 	jobs := cfg.allJobs()
-	slot := make(map[sweepJob]int, len(jobs))
+	slot := make(map[GraphKey]int, len(jobs))
 	for j, job := range jobs {
 		slot[job] = j
 	}
@@ -483,7 +633,7 @@ func MergeCells(cfg SweepConfig, shards []*ShardResult) ([]Cell, error) {
 		}
 		for i := range sh.Results {
 			res := &sh.Results[i]
-			j, ok := slot[sweepJob{nodes: res.Nodes, paths: res.Paths, index: res.Index}]
+			j, ok := slot[res.Key()]
 			if !ok {
 				return nil, fmt.Errorf("expr: shard %d/%d returned graph (%d nodes, %d paths, index %d) outside the sweep",
 					sh.ShardIndex, sh.ShardCount, res.Nodes, res.Paths, res.Index)

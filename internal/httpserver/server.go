@@ -16,7 +16,11 @@
 //	POST /v1/generate             generate a random problem document from
 //	                              the paper's structural parameters
 //	POST /v1/sweep?workers=N      execute one shard of a Fig. 5/6 sweep and
-//	                              return the raw per-graph results
+//	                              return the raw per-graph results; &stream=1
+//	                              switches the response to an NDJSON frame
+//	                              stream (header, one frame per completed
+//	                              graph, trailing summary) so coordinators
+//	                              can journal and merge graph by graph
 //	GET  /v1/sweep/progress       completion counts of the sweeps this server
 //	                              worked on; &watch=1 streams one compact JSON
 //	                              snapshot per change (NDJSON) until the client
@@ -64,6 +68,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/expr"
 	"repro/internal/gen"
 	"repro/internal/obs"
 	"repro/internal/service"
@@ -492,7 +497,10 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 // handleSweep executes one shard of a Fig. 5/6 sweep under the service's
 // global worker budget and returns the raw per-graph results, so a
 // coordinator can merge shards from many servers into the exact cells of a
-// single-process run.
+// single-process run. With ?stream=1 the results leave incrementally as an
+// NDJSON frame stream (header, one graph frame per completed graph, trailing
+// summary) instead of one blocking response, so a coordinator can journal
+// and merge graph by graph.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	_, cfg, err := textio.ReadSweepRequest(http.MaxBytesReader(w, r.Body, s.maxBody))
 	if err != nil {
@@ -504,6 +512,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	} else if ok {
 		cfg.Workers = n
+	}
+	if r.URL.Query().Get("stream") != "" {
+		s.streamSweep(w, r, cfg)
+		return
 	}
 	sol, err := s.svc.SweepShard(r.Context(), cfg)
 	if err != nil {
@@ -519,6 +531,61 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		ProblemHash: sol.SweepHash,
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// streamSweep is the ?stream=1 path of handleSweep: the same shard execution,
+// with every completed graph flushed to the client as soon as it exists. The
+// 200 header is committed before the first frame, so failures after that
+// point travel in-band as an error frame — the strict stream reader turns a
+// missing or mismatched summary into a loud torn-stream error, never a
+// silently short shard.
+func (s *Server) streamSweep(w http.ResponseWriter, r *http.Request, cfg expr.SweepConfig) {
+	fl, ok := w.(http.Flusher)
+	if sw, isSW := w.(*statusWriter); isSW && !sw.flushable() {
+		ok = false
+	}
+	if !ok {
+		writeError(w, http.StatusNotImplemented, errors.New("streaming requires a flushable connection"))
+		return
+	}
+	// The stream header needs the sweep hash and the shard's coverage before
+	// the service returns, so derive both from the normalized config here;
+	// the service computes the identical hash from the identical encoding.
+	cfg = cfg.Normalize()
+	hash, err := textio.SweepHash(textio.EncodeSweepRequest(cfg))
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	out := textio.NewSweepStreamWriter(w)
+	if err := out.Header(hash, cfg.ShardIndex, cfg.ShardCount, cfg.ShardSize()); err != nil {
+		return
+	}
+	fl.Flush()
+	sol, err := s.svc.SweepShardStream(r.Context(), cfg, func(g expr.GraphResult) error {
+		if err := out.Graph(g); err != nil {
+			return err
+		}
+		fl.Flush()
+		return nil
+	})
+	if err != nil {
+		// The 200 is committed; report in-band (best effort — the client may
+		// be the reason we failed).
+		out.Error(err.Error())
+		fl.Flush()
+		return
+	}
+	st := s.svc.Stats()
+	out.Summary(&textio.CacheDoc{
+		Hit:         sol.CacheHit,
+		Hits:        st.SweepCacheHits,
+		Misses:      st.SweepCacheMisses,
+		ProblemHash: sol.SweepHash,
+	})
+	fl.Flush()
 }
 
 // progressDoc snapshots the service's sweep progress in document form.

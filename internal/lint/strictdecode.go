@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"strings"
 
 	"golang.org/x/tools/go/analysis"
 )
@@ -10,19 +11,27 @@ import (
 // versioned document codecs and the two transport layers built on them.
 const defaultStrictDecodePkgs = "textio,httpserver,distrib"
 
+// defaultStrictDecodeExcept are the functions allowed to construct decoders:
+// textio's readStrict (one strict document) and newStreamDecoder (the NDJSON
+// frame decoder behind the sweep stream codec) — both set
+// DisallowUnknownFields, and both own their format's trailing-data policy.
+const defaultStrictDecodeExcept = "readStrict,newStreamDecoder"
+
 var (
 	strictDecodeScope  = newPkgScope(defaultStrictDecodePkgs)
-	strictDecodeExcept = "readStrict"
+	strictDecodeExcept = defaultStrictDecodeExcept
 )
 
 // StrictDecode flags json.Unmarshal and json.NewDecoder calls in the
-// document/transport packages that bypass textio's readStrict helper.
-// readStrict is the single place that sets DisallowUnknownFields and rejects
-// trailing data; any other decode path silently reintroduces lenient parsing
-// of wire input, which the v1 API contract forbids.
+// document/transport packages that bypass textio's strict helpers
+// (readStrict for whole documents, newStreamDecoder for NDJSON frame
+// streams). The helpers are the only places that set DisallowUnknownFields
+// and enforce a trailing-data policy; any other decode path silently
+// reintroduces lenient parsing of wire input, which the v1 API contract
+// forbids.
 var StrictDecode = &analysis.Analyzer{
 	Name: "strictdecode",
-	Doc: "flag JSON decoding that bypasses the shared readStrict helper\n\n" +
+	Doc: "flag JSON decoding that bypasses the shared strict decode helpers\n\n" +
 		"Scoped by package name via -strictdecode.pkgs (default " + defaultStrictDecodePkgs + ").",
 	Run: runStrictDecode,
 }
@@ -30,7 +39,18 @@ var StrictDecode = &analysis.Analyzer{
 func init() {
 	StrictDecode.Flags.Var(strictDecodeScope, "pkgs", "comma-separated package names to check")
 	StrictDecode.Flags.StringVar(&strictDecodeExcept, "except", strictDecodeExcept,
-		"function allowed to construct decoders (the strict helper itself)")
+		"comma-separated functions allowed to construct decoders (the strict helpers themselves)")
+}
+
+// strictDecodeExceptSet parses the -except flag into a membership set.
+func strictDecodeExceptSet() map[string]bool {
+	set := map[string]bool{}
+	for _, name := range strings.Split(strictDecodeExcept, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			set[name] = true
+		}
+	}
+	return set
 }
 
 func runStrictDecode(pass *analysis.Pass) (any, error) {
@@ -38,6 +58,7 @@ func runStrictDecode(pass *analysis.Pass) (any, error) {
 		return nil, nil
 	}
 	allows := newAllowDirectives(pass, "strictdecode")
+	except := strictDecodeExceptSet()
 	for _, f := range pass.Files {
 		if isTestFile(pass, f) {
 			continue
@@ -47,8 +68,8 @@ func runStrictDecode(pass *analysis.Pass) (any, error) {
 			if !ok || fn.Body == nil {
 				continue
 			}
-			if fn.Name.Name == strictDecodeExcept && fn.Recv == nil {
-				continue // the helper is where the decoder is allowed to live
+			if except[fn.Name.Name] && fn.Recv == nil {
+				continue // the helpers are where the decoders are allowed to live
 			}
 			ast.Inspect(fn.Body, func(n ast.Node) bool {
 				call, ok := n.(*ast.CallExpr)

@@ -297,6 +297,32 @@ type SweepSolution struct {
 // possibly with a different worker wish — reuses the completed work.
 // Cancelling ctx aborts the shard run promptly and returns ctx.Err().
 func (s *Service) SweepShard(ctx context.Context, cfg expr.SweepConfig) (*SweepSolution, error) {
+	return s.SweepShardStream(ctx, cfg, nil)
+}
+
+// sweepMemoKey derives the shard-memo key of a normalized config:
+// (SweepHash, shard coordinates) plus — when the request skips
+// already-received graphs — a digest of the canonical skip list. A
+// skip-subset result covers fewer graphs than the full shard, so filing it
+// under the full-shard key (or vice versa) would poison the memo.
+func sweepMemoKey(hash string, cfg expr.SweepConfig) (string, error) {
+	key := fmt.Sprintf("%s:%d/%d", hash, cfg.ShardIndex, cfg.ShardCount)
+	if len(cfg.Skip) == 0 {
+		return key, nil
+	}
+	skipHash, err := memo.HashJSON(textio.EncodeGraphKeys(cfg.Skip))
+	if err != nil {
+		return "", err
+	}
+	return key + ":skip:" + skipHash, nil
+}
+
+// SweepShardStream executes one shard like SweepShard and additionally calls
+// yield (when non-nil) once per completed graph, in completion order —
+// including on memo hits, where the cached shard's graphs are replayed in
+// canonical order so a streaming transport serves identical frames either
+// way. A yield error aborts the run and is returned.
+func (s *Service) SweepShardStream(ctx context.Context, cfg expr.SweepConfig, yield func(expr.GraphResult) error) (*SweepSolution, error) {
 	if cfg.Workers < 0 {
 		return nil, fmt.Errorf("%w; got %d", core.ErrNegativeWorkers, cfg.Workers)
 	}
@@ -304,18 +330,31 @@ func (s *Service) SweepShard(ctx context.Context, cfg expr.SweepConfig) (*SweepS
 	if err := cfg.ValidateShard(); err != nil {
 		return nil, err
 	}
+	if err := cfg.ValidateSkip(); err != nil {
+		return nil, err
+	}
 	s.sweepReqs.Add(1)
 	hash, err := textio.SweepHash(textio.EncodeSweepRequest(cfg))
 	if err != nil {
 		return nil, err
 	}
-	key := fmt.Sprintf("%s:%d/%d", hash, cfg.ShardIndex, cfg.ShardCount)
+	key, err := sweepMemoKey(hash, cfg)
+	if err != nil {
+		return nil, err
+	}
 	total := cfg.ShardSize()
 	// Like Schedule: a wall-clock tabu budget makes results timing-dependent,
 	// so budgeted runs stay out of the memo in both directions.
 	memoizable := cfg.Options.StrategyParams.Budget <= 0
 	if memoizable {
 		if sh, ok := s.sweeps.Get(key); ok {
+			if yield != nil {
+				for _, g := range sh.Results {
+					if err := yield(g); err != nil {
+						return nil, err
+					}
+				}
+			}
 			s.progress.completed(hash, cfg.ShardIndex, cfg.ShardCount, total)
 			return &SweepSolution{Shard: sh, SweepHash: hash, CacheHit: true}, nil
 		}
@@ -346,7 +385,7 @@ func (s *Service) SweepShard(ctx context.Context, cfg expr.SweepConfig) (*SweepS
 			prev(done, total)
 		}
 	}
-	sh, err := expr.RunSweepShardContext(ctx, cfg)
+	sh, err := expr.RunSweepShardStream(ctx, cfg, yield)
 	if err != nil {
 		return nil, err
 	}

@@ -35,6 +35,42 @@ type SweepRequestDoc struct {
 	// the content hash.
 	Workers int         `json:"workers,omitempty"`
 	Options *OptionsDoc `json:"options,omitempty"`
+	// Skip lists graphs of the shard already received by a streaming
+	// coordinator, in canonical (sorted) order: the server computes and
+	// covers only the remainder. Like the shard coordinates it never
+	// changes per-graph results, so it is excluded from the content hash.
+	Skip []GraphKeyDoc `json:"skip,omitempty"`
+}
+
+// GraphKeyDoc is the wire form of one graph's cell coordinates.
+type GraphKeyDoc struct {
+	Nodes int `json:"nodes"`
+	Paths int `json:"paths"`
+	Index int `json:"index"`
+}
+
+// EncodeGraphKeys renders cell coordinates in document form.
+func EncodeGraphKeys(keys []expr.GraphKey) []GraphKeyDoc {
+	if len(keys) == 0 {
+		return nil
+	}
+	docs := make([]GraphKeyDoc, len(keys))
+	for i, k := range keys {
+		docs[i] = GraphKeyDoc(k)
+	}
+	return docs
+}
+
+// DecodeGraphKeys rebuilds cell coordinates from their document form.
+func DecodeGraphKeys(docs []GraphKeyDoc) []expr.GraphKey {
+	if len(docs) == 0 {
+		return nil
+	}
+	keys := make([]expr.GraphKey, len(docs))
+	for i, d := range docs {
+		keys[i] = expr.GraphKey(d)
+	}
+	return keys
 }
 
 // EncodeSweepRequest renders a sweep configuration in document form. The
@@ -57,6 +93,7 @@ func EncodeSweepRequest(cfg expr.SweepConfig) *SweepRequestDoc {
 		ShardCount:    cfg.ShardCount,
 		Workers:       cfg.Workers,
 		Options:       EncodeOptions(cfg.Options),
+		Skip:          EncodeGraphKeys(cfg.Skip),
 	}
 }
 
@@ -126,6 +163,13 @@ func DecodeSweepRequest(d *SweepRequestDoc) (expr.SweepConfig, error) {
 		Options:       opts,
 		ShardIndex:    d.ShardIndex,
 		ShardCount:    d.ShardCount,
+		Skip:          DecodeGraphKeys(d.Skip),
+	}
+	// A skip entry outside the shard means the sender and this server would
+	// disagree about the shard's coverage; reject it at the wire like the
+	// other malformed parameters.
+	if err := cfg.Normalize().ValidateSkip(); err != nil {
+		return cfg, fmt.Errorf("textio: %w", err)
 	}
 	return cfg, nil
 }
@@ -153,15 +197,17 @@ func WriteSweepRequest(w io.Writer, d *SweepRequestDoc) error {
 
 // SweepHash returns the content hash identifying the sweep a request belongs
 // to: the sha256 of the canonical JSON encoding with the execution knobs —
-// Workers, options.workers and the shard coordinates — cleared, because none
-// of them change the per-graph results. Every shard of one sweep therefore
-// shares one hash, and a service memo can key cached shard work by
-// (SweepHash, shard) so a retried shard is reused across worker counts.
+// Workers, options.workers, the shard coordinates and the skip list —
+// cleared, because none of them change the per-graph results. Every shard of
+// one sweep therefore shares one hash, and a service memo can key cached
+// shard work by (SweepHash, shard) so a retried shard is reused across
+// worker counts.
 func SweepHash(d *SweepRequestDoc) (string, error) {
 	c := *d
 	c.Workers = 0
 	c.ShardIndex = 0
 	c.ShardCount = 0
+	c.Skip = nil
 	if c.Options != nil {
 		o := *c.Options
 		o.Workers = 0
@@ -206,15 +252,7 @@ func EncodeSweepResponse(hash string, sh *expr.ShardResult) *SweepResponseDoc {
 		Graphs:     make([]SweepGraphDoc, 0, len(sh.Results)),
 	}
 	for _, g := range sh.Results {
-		d.Graphs = append(d.Graphs, SweepGraphDoc{
-			Nodes:       g.Nodes,
-			Paths:       g.Paths,
-			Index:       g.Index,
-			IncreasePct: g.IncreasePct,
-			MergeNs:     g.MergeNs,
-			PathSchedNs: g.PathSchedNs,
-			Violation:   g.Violation,
-		})
+		d.Graphs = append(d.Graphs, *EncodeGraphResult(g))
 	}
 	return d
 }
@@ -237,15 +275,7 @@ func DecodeSweepResponse(d *SweepResponseDoc) (*expr.ShardResult, error) {
 		Results:    make([]expr.GraphResult, 0, len(d.Graphs)),
 	}
 	for _, g := range d.Graphs {
-		sh.Results = append(sh.Results, expr.GraphResult{
-			Nodes:       g.Nodes,
-			Paths:       g.Paths,
-			Index:       g.Index,
-			IncreasePct: g.IncreasePct,
-			MergeNs:     g.MergeNs,
-			PathSchedNs: g.PathSchedNs,
-			Violation:   g.Violation,
-		})
+		sh.Results = append(sh.Results, DecodeGraphResult(&g))
 	}
 	return sh, nil
 }

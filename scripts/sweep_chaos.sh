@@ -11,6 +11,12 @@
 #      and rerunning the same command — the restart must report reusing the
 #      journaled shards, re-dispatch only the missing ones, and reproduce
 #      the golden CSV.
+#   3. Kill mid-stream: replay a coordinator killed while a shard's graph
+#      stream was still in flight — one shard document is missing and its
+#      partial spool holds only the graphs streamed before the kill (taken
+#      from a real /v1/sweep?stream=1 response, so the spool format is pinned
+#      to the wire format). The restart must report reusing those streamed
+#      graphs, re-dispatch only the remainder, and reproduce the golden CSV.
 #
 # The deterministic versions of these scenarios (plus work-stealing and
 # late-joining backends) live in internal/distrib/distribtest; this script
@@ -95,4 +101,40 @@ diff -u testdata/sweep_golden.csv "$OUT/resumed.csv" || {
   exit 1
 }
 
-echo "chaos smoke OK: golden CSV survives a backend kill+restart mid-sweep and a coordinator restart from the journal"
+# --- Phase 3: coordinator killed mid-stream; resume from a partial spool. --
+# After phase 2 the journal again holds all 4 shard documents. Fabricate a
+# coordinator that died while shard 1's stream was in flight: drop the shard
+# document and leave a partial spool with only the first 2 of its graphs. The
+# spool lines come from the backend's real NDJSON stream, so this also pins
+# that the on-disk spool format and the wire frame format stay identical.
+curl -fsS -X POST -H 'Content-Type: application/json' \
+  -d '{"version":"v1","nodes":[60,80],"paths":[10,12],"graphsPerCell":3,"seed":7,"shardIndex":1,"shardCount":4}' \
+  "http://$ADDR_A/v1/sweep?stream=1" > "$OUT/shard1.ndjson"
+grep '"frame":"graph"' "$OUT/shard1.ndjson" > "$OUT/frames.ndjson"
+[ "$(wc -l < "$OUT/frames.ndjson")" -gt 2 ] || {
+  echo "chaos smoke FAILED: shard 1/4 stream too short to tear meaningfully" >&2
+  cat "$OUT/shard1.ndjson" >&2
+  exit 1
+}
+HASHDIRS=("$JDIR"/*/)
+HASHDIR="${HASHDIRS[0]}"
+rm "$HASHDIR/shard-00001-of-00004.json"
+head -2 "$OUT/frames.ndjson" > "$HASHDIR/partial-00001-of-00004.ndjson"
+"$BIN/cpgexper" "${SWEEP_FLAGS[@]}" -shards 4 -remote "http://$ADDR_A" \
+  -journal "$JDIR" > "$OUT/partial.csv" 2> "$OUT/partial.log"
+grep -q "journal: reusing 3/4" "$OUT/partial.log" || {
+  echo "chaos smoke FAILED: coordinator did not reuse the 3 intact shards" >&2
+  sed 's/^/  coordinator: /' "$OUT/partial.log" >&2
+  exit 1
+}
+grep -q "journal: reusing 2 streamed graphs from partial spools" "$OUT/partial.log" || {
+  echo "chaos smoke FAILED: coordinator did not resume shard 1 from its partial spool" >&2
+  sed 's/^/  coordinator: /' "$OUT/partial.log" >&2
+  exit 1
+}
+diff -u testdata/sweep_golden.csv "$OUT/partial.csv" || {
+  echo "chaos smoke FAILED: CSV after a mid-stream kill differs from golden" >&2
+  exit 1
+}
+
+echo "chaos smoke OK: golden CSV survives a backend kill+restart mid-sweep, a coordinator restart from the journal, and a mid-stream kill resumed from a partial spool"

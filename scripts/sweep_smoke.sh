@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Smoke-test the distributed sweep end to end: build cpgserve and cpgexper,
 # start TWO local cpgserve instances, run the golden mini-sweep (1) in a
-# single process and (2) sharded 3 ways across both servers, and require the
-# two CSVs to be byte-identical — and identical to testdata/sweep_golden.csv.
+# single process, (2) sharded 3 ways across both servers over the default
+# graph-by-graph streaming path, and (3) sharded the same way with
+# -stream=false (whole-shard unary responses), and require all three CSVs to
+# be byte-identical — and identical to testdata/sweep_golden.csv.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -34,13 +36,19 @@ SWEEP_FLAGS=(-exp sweep -nodes 60,80 -paths 10,12 -graphs 3 -seed 7 -zero-times 
 "$BIN/cpgexper" "${SWEEP_FLAGS[@]}" > "$OUT/single.csv"
 "$BIN/cpgexper" "${SWEEP_FLAGS[@]}" -shards 3 \
   -remote "http://$ADDR_A,http://$ADDR_B" > "$OUT/sharded.csv"
+"$BIN/cpgexper" "${SWEEP_FLAGS[@]}" -shards 3 -stream=false \
+  -remote "http://$ADDR_A,http://$ADDR_B" > "$OUT/unary.csv"
 
 diff -u "$OUT/single.csv" "$OUT/sharded.csv" || {
-  echo "sweep smoke FAILED: sharded CSV differs from single-process CSV" >&2
+  echo "sweep smoke FAILED: streamed sharded CSV differs from single-process CSV" >&2
+  exit 1
+}
+diff -u "$OUT/sharded.csv" "$OUT/unary.csv" || {
+  echo "sweep smoke FAILED: -stream=false CSV differs from the streamed run" >&2
   exit 1
 }
 diff -u testdata/sweep_golden.csv "$OUT/sharded.csv" || {
   echo "sweep smoke FAILED: sharded CSV differs from testdata/sweep_golden.csv" >&2
   exit 1
 }
-echo "sweep smoke OK: 3-shard, 2-server sweep CSV is byte-identical to the single-process run and the golden file"
+echo "sweep smoke OK: 3-shard, 2-server sweep CSV (streamed and unary) is byte-identical to the single-process run and the golden file"
