@@ -25,6 +25,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -32,6 +33,7 @@ import (
 	"testing"
 
 	"repro/internal/atm"
+	"repro/internal/cond"
 	"repro/internal/core"
 	"repro/internal/cpg"
 	"repro/internal/expr"
@@ -504,4 +506,133 @@ func BenchmarkAblationConflictPolicy(b *testing.B) {
 			b.ReportMetric(float64(res.Stats.Conflicts), "conflicts")
 		})
 	}
+}
+
+// BenchmarkCubeOps measures the core condition-algebra operations on a fixed
+// population of cubes. With the bitset representation every one of these is a
+// handful of word operations and none allocates; the committed numbers pin
+// that floor so a representation change that reintroduces per-literal work
+// shows up in the trajectory diff.
+func BenchmarkCubeOps(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	cubes := make([]cond.Cube, 16)
+	for i := range cubes {
+		c := cond.True()
+		for x := 0; x < 12; x++ {
+			if rng.Intn(3) == 0 {
+				c = c.MustWith(cond.Cond(x), rng.Intn(2) == 0)
+			}
+		}
+		cubes[i] = c
+	}
+	var boolSink bool
+	var intSink int
+	var keyBuf []byte
+	pair := func(i int) (cond.Cube, cond.Cube) {
+		return cubes[i%len(cubes)], cubes[(i*7+3)%len(cubes)]
+	}
+	b.Run("Implies", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			x, y := pair(i)
+			boolSink = x.Implies(y)
+		}
+	})
+	b.Run("Compatible", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			x, y := pair(i)
+			boolSink = x.Compatible(y)
+		}
+	})
+	b.Run("And", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			x, y := pair(i)
+			_, boolSink = x.And(y)
+		}
+	})
+	b.Run("Compare", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			x, y := pair(i)
+			intSink = x.Compare(y)
+		}
+	})
+	b.Run("AppendKey", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			x, _ := pair(i)
+			keyBuf = x.AppendKey(keyBuf[:0])
+		}
+	})
+	_, _, _ = boolSink, intSink, keyBuf
+}
+
+// BenchmarkWarmReschedule compares a cold reschedule of a τ-edited problem
+// against a warm-started one that reuses the previous result's schedules for
+// every path the edit does not touch. The tabu strategy makes per-path
+// scheduling the dominant cost, which is exactly the work warm-starting
+// skips; the acceptance bar is warm beating cold by at least 2x ns/op.
+func BenchmarkWarmReschedule(b *testing.B) {
+	inst, err := gen.Generate(gen.Config{Seed: 11, Nodes: 90, TargetPaths: 16, Processors: 4, Hardware: 1, Buses: 2})
+	if err != nil {
+		b.Fatalf("Generate: %v", err)
+	}
+	opt := core.Options{
+		Strategy:       "tabu",
+		StrategyParams: listsched.StrategyParams{TabuIterations: 12, TabuNeighbors: 8},
+		Workers:        1,
+	}
+	prev, err := core.Schedule(inst.Graph, inst.Arch, opt)
+	if err != nil {
+		b.Fatalf("Schedule (prev): %v", err)
+	}
+	paths, err := inst.Graph.AlternativePaths(0)
+	if err != nil {
+		b.Fatalf("AlternativePaths: %v", err)
+	}
+	// τ-edit the ordinary process active on the fewest paths, so the warm run
+	// reschedules as little as a single-process timing tweak allows.
+	dirty, dirtyPaths := cpg.NoProc, len(paths)+1
+	for _, p := range inst.Graph.Procs() {
+		if p.IsDummy() || p.Kind != cpg.KindOrdinary {
+			continue
+		}
+		n := 0
+		for _, path := range paths {
+			if path.IsActive(p.ID) {
+				n++
+			}
+		}
+		if n < dirtyPaths {
+			dirty, dirtyPaths = p.ID, n
+		}
+	}
+	if dirty == cpg.NoProc {
+		b.Fatalf("no ordinary process in generated instance")
+	}
+	inst.Graph.Process(dirty).Exec += 3
+	ctx := context.Background()
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Schedule(inst.Graph, inst.Arch, opt); err != nil {
+				b.Fatalf("Schedule: %v", err)
+			}
+		}
+		b.ReportMetric(float64(len(paths)), "paths")
+	})
+	b.Run("warm", func(b *testing.B) {
+		var res *core.Result
+		for i := 0; i < b.N; i++ {
+			var err error
+			res, err = core.ScheduleWarm(ctx, prev, inst.Graph, inst.Arch, opt, []cpg.ProcID{dirty})
+			if err != nil {
+				b.Fatalf("ScheduleWarm: %v", err)
+			}
+		}
+		b.ReportMetric(float64(len(paths)), "paths")
+		b.ReportMetric(float64(res.Stats.WarmReusedPaths), "reused-paths")
+	})
 }

@@ -12,6 +12,12 @@
 // containing ns/op, B/op, allocs/op and any custom b.ReportMetric values
 // (deltaM, increase-%, merge-ms, ...). Context lines (goos, goarch, cpu,
 // pkg) are captured into the header.
+//
+// With -prev <file>, the fresh results are additionally diffed against a
+// previous snapshot: every benchmark whose ns/op grew by more than
+// -regress-threshold (default 20%) is called out on stderr. The diff is
+// advisory — it never changes the exit code — so CI can surface creeping
+// slowdowns without flaking on noisy runners.
 package main
 
 import (
@@ -46,6 +52,8 @@ type Results struct {
 
 func main() {
 	note := flag.String("note", "", "free-text note embedded in the output (e.g. before/after comparison)")
+	prev := flag.String("prev", "", "previous results JSON to diff against; ns/op regressions beyond the threshold are warned to stderr (never fails the run)")
+	threshold := flag.Float64("regress-threshold", 0.20, "fractional ns/op increase over -prev that triggers a regression warning")
 	flag.Parse()
 
 	res := Results{
@@ -95,11 +103,59 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *prev != "" {
+		diffAgainst(*prev, res, *threshold)
+	}
+
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(res); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
+	}
+}
+
+// diffAgainst compares the fresh results against a previous snapshot and
+// warns on stderr about every benchmark whose ns/op grew by more than the
+// threshold fraction. It is advisory by design — benchmark noise on shared CI
+// runners must not fail the build — so it never touches the exit code; an
+// unreadable previous file just notes that the comparison was skipped.
+func diffAgainst(path string, cur Results, threshold float64) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: skipping comparison: %v\n", err)
+		return
+	}
+	var old Results
+	if err := json.Unmarshal(data, &old); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: skipping comparison: parsing %s: %v\n", path, err)
+		return
+	}
+	prevNs := make(map[string]float64, len(old.Benchmarks))
+	for _, b := range old.Benchmarks {
+		if ns, ok := b.Metrics["ns/op"]; ok && ns > 0 {
+			prevNs[b.Name] = ns
+		}
+	}
+	regressions := 0
+	for _, b := range cur.Benchmarks {
+		ns, ok := b.Metrics["ns/op"]
+		if !ok {
+			continue
+		}
+		oldNs, ok := prevNs[b.Name]
+		if !ok {
+			continue
+		}
+		change := (ns - oldNs) / oldNs
+		if change > threshold {
+			regressions++
+			fmt.Fprintf(os.Stderr, "benchjson: WARNING: %s regressed %.1f%% (%.0f -> %.0f ns/op) vs %s\n",
+				b.Name, change*100, oldNs, ns, path)
+		}
+	}
+	if regressions == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: no ns/op regression beyond %.0f%% vs %s\n", threshold*100, path)
 	}
 }
 

@@ -11,25 +11,46 @@
 // All values are immutable: every operation returns a new value and never
 // modifies its receiver or arguments.
 //
-// Cubes are backed by a slice of literals sorted by condition identifier.
-// Compared to the earlier map-backed representation this makes the read-only
-// operations (Implies, Compatible, Equal, Lits, Compare) allocation-free and
-// the extending operations (With, And) a single allocation, which matters
-// because the scheduling core evaluates guards inside its innermost loops.
+// Cubes are backed by a pair of uint64 bitmasks (conditions assigned true and
+// conditions assigned false), so a cube is a 16-byte value with no heap
+// backing at all. Compared to the earlier sorted-literal-slice representation
+// this makes every read-only operation (Implies, Compatible, Equal,
+// CondsSubsetOf) and every extending operation (With, And) a handful of mask
+// instructions with zero allocations, turns Equal into ==, and makes Cube a
+// comparable type usable directly as a map key — which matters because the
+// scheduling core evaluates guards inside its innermost loops and the table
+// keys rows by expression. The price is a hard cap of MaxConds conditions per
+// graph, far above anything the paper's sweep (≤ ~10 conditions) produces.
 package cond
 
 import (
 	"fmt"
-	"strconv"
+	"math/bits"
 	"strings"
 )
 
 // Cond identifies a condition within a graph. Conditions are small
-// non-negative integers handed out by the graph builder.
+// non-negative integers handed out by the graph builder; the bitset cube
+// representation requires them to stay below MaxConds.
 type Cond int
 
 // None is the sentinel for "no condition".
 const None Cond = -1
+
+// MaxConds is the largest number of conditions a single graph may declare:
+// condition identifiers must fit in one uint64 bitmask. Graph construction
+// rejects graphs beyond the limit before any cube is built; cube operations
+// that would silently wrap instead panic loudly.
+const MaxConds = 64
+
+// checkCond panics when a condition identifier cannot be represented in the
+// bitset. Failing loudly here is deliberate: a shifted-out bit would silently
+// alias condition x and condition x-64, corrupting guards.
+func checkCond(x Cond) {
+	if x < 0 || x >= MaxConds {
+		panic(fmt.Sprintf("cond: condition %d outside bitset range [0,%d)", int(x), MaxConds))
+	}
+}
 
 // Lit is a single condition literal: the condition Cond with value Val.
 type Lit struct {
@@ -66,10 +87,12 @@ func nameOf(n Namer, c Cond) string {
 }
 
 // Cube is a conjunction of condition literals. The zero value is the constant
-// true (the empty conjunction). Cubes are immutable: the backing literal slice
-// is never modified after construction and may be shared between cubes.
+// true (the empty conjunction). Cubes are immutable 16-byte values: bit i of
+// pos means "condition i is true", bit i of neg means "condition i is false",
+// and the two masks are always disjoint. Cube is comparable; == coincides
+// with Equal, so cubes can key maps directly.
 type Cube struct {
-	lits []Lit // sorted by Cond, at most one literal per condition
+	pos, neg uint64
 }
 
 // True returns the empty cube (constant true).
@@ -77,29 +100,23 @@ func True() Cube { return Cube{} }
 
 // NewCube builds a cube from the given literals. The second return value is
 // false when two literals assign opposite values to the same condition, in
-// which case the conjunction is unsatisfiable.
+// which case the conjunction is unsatisfiable. Literal order is irrelevant;
+// the cube is canonical by construction.
 func NewCube(lits ...Lit) (Cube, bool) {
-	if len(lits) == 0 {
-		return Cube{}, true
-	}
-	out := make([]Lit, 0, len(lits))
+	var c Cube
 	for _, l := range lits {
-		// Insertion sort by condition; cubes are tiny.
-		i := len(out)
-		for i > 0 && out[i-1].Cond > l.Cond {
-			i--
+		checkCond(l.Cond)
+		bit := uint64(1) << uint(l.Cond)
+		if l.Val {
+			c.pos |= bit
+		} else {
+			c.neg |= bit
 		}
-		if i > 0 && out[i-1].Cond == l.Cond {
-			if out[i-1].Val != l.Val {
-				return Cube{}, false
-			}
-			continue
-		}
-		out = append(out, Lit{})
-		copy(out[i+1:], out[i:])
-		out[i] = l
 	}
-	return Cube{lits: out}, true
+	if c.pos&c.neg != 0 {
+		return Cube{}, false
+	}
+	return c, true
 }
 
 // MustCube is like NewCube but panics on an unsatisfiable conjunction. It is
@@ -112,92 +129,66 @@ func MustCube(lits ...Lit) Cube {
 	return c
 }
 
-// CubeFromOwnedLits builds a cube taking ownership of lits: the slice is
-// sorted in place and becomes the cube's backing storage, so the caller must
-// not read or modify it afterwards. Duplicate literals are compacted; the
-// second return value is false when two literals contradict. It exists for
-// hot paths that assemble the literal list themselves and would otherwise pay
-// NewCube's defensive copy.
-func CubeFromOwnedLits(lits []Lit) (Cube, bool) {
-	if len(lits) == 0 {
-		return Cube{}, true
-	}
-	// Insertion sort by condition; cubes are tiny.
-	for i := 1; i < len(lits); i++ {
-		l := lits[i]
-		j := i
-		for j > 0 && lits[j-1].Cond > l.Cond {
-			lits[j] = lits[j-1]
-			j--
-		}
-		lits[j] = l
-	}
-	out := lits[:1]
-	for _, l := range lits[1:] {
-		last := out[len(out)-1]
-		if last.Cond == l.Cond {
-			if last.Val != l.Val {
-				return Cube{}, false
-			}
-			continue
-		}
-		out = append(out, l)
-	}
-	return Cube{lits: out}, true
-}
+// CubeFromOwnedLits builds a cube from a caller-assembled literal slice.
+// Duplicate literals are compacted; the second return value is false when two
+// literals contradict.
+//
+// Historically the slice became the cube's backing storage ("owned"), which
+// left an aliasing hole: a later append or write through the caller's slice
+// silently mutated the supposedly immutable cube. The bitset representation
+// closes that hole structurally — the literals are folded into the masks and
+// the slice is never retained — so this is now just NewCube under a name kept
+// for hot-path callers.
+func CubeFromOwnedLits(lits []Lit) (Cube, bool) { return NewCube(lits...) }
 
 // IsTrue reports whether the cube is the empty conjunction.
-func (c Cube) IsTrue() bool { return len(c.lits) == 0 }
+func (c Cube) IsTrue() bool { return c.pos|c.neg == 0 }
 
 // Len returns the number of literals in the cube.
-func (c Cube) Len() int { return len(c.lits) }
-
-// find returns the index of condition x in the literal slice, or -1. Cubes
-// hold a handful of literals, so a linear scan beats binary search.
-func (c Cube) find(x Cond) int {
-	for i, l := range c.lits {
-		if l.Cond == x {
-			return i
-		}
-		if l.Cond > x {
-			break
-		}
-	}
-	return -1
-}
+func (c Cube) Len() int { return bits.OnesCount64(c.pos | c.neg) }
 
 // Value returns the value assigned to condition x and whether x appears in
-// the cube.
+// the cube. Out-of-range conditions (including None) are simply absent.
 func (c Cube) Value(x Cond) (bool, bool) {
-	if i := c.find(x); i >= 0 {
-		return c.lits[i].Val, true
+	if x < 0 || x >= MaxConds {
+		return false, false
+	}
+	bit := uint64(1) << uint(x)
+	if c.pos&bit != 0 {
+		return true, true
+	}
+	if c.neg&bit != 0 {
+		return false, true
 	}
 	return false, false
 }
 
 // Has reports whether condition x appears in the cube.
-func (c Cube) Has(x Cond) bool { return c.find(x) >= 0 }
+func (c Cube) Has(x Cond) bool {
+	if x < 0 || x >= MaxConds {
+		return false
+	}
+	return (c.pos|c.neg)&(uint64(1)<<uint(x)) != 0
+}
 
 // With returns a copy of the cube extended with the literal (x, v). The
 // second return value is false when the cube already assigns the opposite
 // value to x.
 func (c Cube) With(x Cond, v bool) (Cube, bool) {
-	// Find the insertion point (first literal with Cond >= x).
-	i := 0
-	for i < len(c.lits) && c.lits[i].Cond < x {
-		i++
-	}
-	if i < len(c.lits) && c.lits[i].Cond == x {
-		if c.lits[i].Val != v {
+	checkCond(x)
+	bit := uint64(1) << uint(x)
+	if v {
+		if c.neg&bit != 0 {
 			return Cube{}, false
 		}
-		return c, true
+		c.pos |= bit
+	} else {
+		if c.pos&bit != 0 {
+			return Cube{}, false
+		}
+		c.neg |= bit
 	}
-	n := make([]Lit, len(c.lits)+1)
-	copy(n, c.lits[:i])
-	n[i] = Lit{Cond: x, Val: v}
-	copy(n[i+1:], c.lits[i:])
-	return Cube{lits: n}, true
+	return c, true
 }
 
 // MustWith is like With but panics on contradiction.
@@ -211,158 +202,103 @@ func (c Cube) MustWith(x Cond, v bool) Cube {
 
 // Without returns a copy of the cube with condition x removed.
 func (c Cube) Without(x Cond) Cube {
-	i := c.find(x)
-	if i < 0 {
+	if x < 0 || x >= MaxConds {
 		return c
 	}
-	if len(c.lits) == 1 {
-		return Cube{}
-	}
-	n := make([]Lit, len(c.lits)-1)
-	copy(n, c.lits[:i])
-	copy(n[i:], c.lits[i+1:])
-	return Cube{lits: n}
+	bit := uint64(1) << uint(x)
+	c.pos &^= bit
+	c.neg &^= bit
+	return c
 }
 
 // And returns the conjunction of two cubes. The second return value is false
 // when the conjunction is unsatisfiable.
 func (c Cube) And(o Cube) (Cube, bool) {
-	if len(o.lits) == 0 {
-		return c, true
+	n := Cube{pos: c.pos | o.pos, neg: c.neg | o.neg}
+	if n.pos&n.neg != 0 {
+		return Cube{}, false
 	}
-	if len(c.lits) == 0 {
-		return o, true
-	}
-	n := make([]Lit, 0, len(c.lits)+len(o.lits))
-	i, j := 0, 0
-	for i < len(c.lits) && j < len(o.lits) {
-		a, b := c.lits[i], o.lits[j]
-		switch {
-		case a.Cond < b.Cond:
-			n = append(n, a)
-			i++
-		case a.Cond > b.Cond:
-			n = append(n, b)
-			j++
-		default:
-			if a.Val != b.Val {
-				return Cube{}, false
-			}
-			n = append(n, a)
-			i, j = i+1, j+1
-		}
-	}
-	n = append(n, c.lits[i:]...)
-	n = append(n, o.lits[j:]...)
-	return Cube{lits: n}, true
+	return n, true
 }
 
 // Compatible reports whether the conjunction of the two cubes is satisfiable,
 // i.e. no condition appears with opposite values.
 func (c Cube) Compatible(o Cube) bool {
-	i, j := 0, 0
-	for i < len(c.lits) && j < len(o.lits) {
-		a, b := c.lits[i], o.lits[j]
-		switch {
-		case a.Cond < b.Cond:
-			i++
-		case a.Cond > b.Cond:
-			j++
-		default:
-			if a.Val != b.Val {
-				return false
-			}
-			i, j = i+1, j+1
-		}
-	}
-	return true
+	return c.pos&o.neg == 0 && c.neg&o.pos == 0
 }
 
 // Implies reports whether c logically implies o, i.e. every literal of o
 // appears in c with the same value.
 func (c Cube) Implies(o Cube) bool {
-	if len(o.lits) > len(c.lits) {
-		return false
-	}
-	i := 0
-	for _, b := range o.lits {
-		for i < len(c.lits) && c.lits[i].Cond < b.Cond {
-			i++
-		}
-		if i >= len(c.lits) || c.lits[i].Cond != b.Cond || c.lits[i].Val != b.Val {
-			return false
-		}
-		i++
-	}
-	return true
+	return o.pos&^c.pos == 0 && o.neg&^c.neg == 0
 }
 
 // Equal reports whether the two cubes contain exactly the same literals.
-func (c Cube) Equal(o Cube) bool {
-	if len(c.lits) != len(o.lits) {
-		return false
-	}
-	for i, l := range c.lits {
-		if o.lits[i] != l {
-			return false
-		}
-	}
-	return true
-}
+// Equivalent to ==.
+func (c Cube) Equal(o Cube) bool { return c == o }
 
 // CondsSubsetOf reports whether every condition mentioned by c is also
 // mentioned by o (regardless of values).
 func (c Cube) CondsSubsetOf(o Cube) bool {
-	if len(c.lits) > len(o.lits) {
-		return false
-	}
-	i := 0
-	for _, l := range c.lits {
-		for i < len(o.lits) && o.lits[i].Cond < l.Cond {
-			i++
-		}
-		if i >= len(o.lits) || o.lits[i].Cond != l.Cond {
-			return false
-		}
-		i++
-	}
-	return true
+	return (c.pos|c.neg)&^(o.pos|o.neg) == 0
 }
+
+// Mask returns the set of conditions mentioned by the cube as a bitmask
+// (bit i set means condition i appears, with either value). Together with
+// PosMask it lets hot loops walk a cube's literals without allocating:
+//
+//	for m := c.Mask(); m != 0; m &= m - 1 {
+//		x := cond.Cond(bits.TrailingZeros64(m))
+//		...
+//	}
+func (c Cube) Mask() uint64 { return c.pos | c.neg }
+
+// PosMask returns the conditions assigned true as a bitmask.
+func (c Cube) PosMask() uint64 { return c.pos }
+
+// NegMask returns the conditions assigned false as a bitmask.
+func (c Cube) NegMask() uint64 { return c.neg }
 
 // Conds returns the conditions mentioned by the cube in ascending order.
 func (c Cube) Conds() []Cond {
-	out := make([]Cond, len(c.lits))
-	for i, l := range c.lits {
-		out[i] = l.Cond
+	m := c.pos | c.neg
+	out := make([]Cond, 0, bits.OnesCount64(m))
+	for ; m != 0; m &= m - 1 {
+		out = append(out, Cond(bits.TrailingZeros64(m)))
 	}
 	return out
 }
 
 // Lits returns the literals of the cube ordered by condition. The returned
-// slice is the cube's backing storage and must not be modified.
-func (c Cube) Lits() []Lit { return c.lits }
+// slice is freshly allocated on every call — writes to it can never reach the
+// cube. Hot paths should iterate Mask/PosMask instead and skip the
+// allocation.
+func (c Cube) Lits() []Lit { return c.AppendLits(nil) }
 
-// Key returns a canonical string usable as a map key for the cube.
-func (c Cube) Key() string { return string(c.AppendKey(nil)) }
-
-// AppendKey appends the canonical key of the cube to dst and returns it.
-// Combined with Go's free []byte-to-string conversion in map lookups, this
-// lets hot paths key maps by expression without allocating per lookup.
-func (c Cube) AppendKey(dst []byte) []byte {
-	if c.IsTrue() {
-		return append(dst, '1')
-	}
-	for i, l := range c.lits {
-		if i > 0 {
-			dst = append(dst, '.')
-		}
-		if !l.Val {
-			dst = append(dst, '!')
-		}
-		dst = append(dst, 'c')
-		dst = strconv.AppendInt(dst, int64(l.Cond), 10)
+// AppendLits appends the literals of the cube, ordered by condition, to dst
+// and returns the extended slice.
+func (c Cube) AppendLits(dst []Lit) []Lit {
+	for m := c.pos | c.neg; m != 0; m &= m - 1 {
+		x := Cond(bits.TrailingZeros64(m))
+		dst = append(dst, Lit{Cond: x, Val: c.pos&(uint64(1)<<uint(x)) != 0})
 	}
 	return dst
+}
+
+// Key returns a canonical string usable as a map key for the cube. Two cubes
+// have equal keys exactly when they are Equal. Prefer keying maps by the Cube
+// value itself (it is comparable); Key exists for contexts that need a string.
+func (c Cube) Key() string { return string(c.AppendKey(nil)) }
+
+// AppendKey appends the canonical key of the cube to dst and returns it. The
+// key is a fixed 16-byte big-endian encoding of the (pos, neg) masks, so keys
+// are integer-comparable and never allocate beyond the destination buffer.
+func (c Cube) AppendKey(dst []byte) []byte {
+	return append(dst,
+		byte(c.pos>>56), byte(c.pos>>48), byte(c.pos>>40), byte(c.pos>>32),
+		byte(c.pos>>24), byte(c.pos>>16), byte(c.pos>>8), byte(c.pos),
+		byte(c.neg>>56), byte(c.neg>>48), byte(c.neg>>40), byte(c.neg>>32),
+		byte(c.neg>>24), byte(c.neg>>16), byte(c.neg>>8), byte(c.neg))
 }
 
 // String renders the cube with default condition names ("true" for the empty
@@ -370,15 +306,16 @@ func (c Cube) AppendKey(dst []byte) []byte {
 func (c Cube) String() string { return c.Format(nil) }
 
 // Format renders the cube using the given Namer, joining literals with the
-// unicode conjunction sign used by the paper's tables.
+// conjunction sign used by the paper's tables.
 func (c Cube) Format(n Namer) string {
 	if c.IsTrue() {
 		return "true"
 	}
-	parts := make([]string, 0, len(c.lits))
-	for _, l := range c.lits {
-		name := nameOf(n, l.Cond)
-		if l.Val {
+	parts := make([]string, 0, c.Len())
+	for m := c.pos | c.neg; m != 0; m &= m - 1 {
+		x := Cond(bits.TrailingZeros64(m))
+		name := nameOf(n, x)
+		if c.pos&(uint64(1)<<uint(x)) != 0 {
 			parts = append(parts, name)
 		} else {
 			parts = append(parts, "!"+name)
@@ -387,21 +324,33 @@ func (c Cube) Format(n Namer) string {
 	return strings.Join(parts, "&")
 }
 
-// Compare orders cubes first by number of literals, then lexicographically by
-// (condition, value). It returns a negative number, zero or a positive number
-// as c sorts before, equal to or after o. It is used for stable table layout.
+// Compare orders cubes lexicographically by their (condition, value) literal
+// sequence — positive literal before negative for the same condition — with a
+// cube that is a strict prefix of another sorting first. It returns a
+// negative number, zero or a positive number as c sorts before, equal to or
+// after o. It is used for stable table layout and replicates the ordering of
+// the earlier slice representation exactly, which the golden tables pin.
 func (c Cube) Compare(o Cube) int {
-	a, b := c.lits, o.lits
-	for i := 0; i < len(a) && i < len(b); i++ {
-		if a[i].Cond != b[i].Cond {
-			return int(a[i].Cond) - int(b[i].Cond)
+	if c == o {
+		return 0
+	}
+	am, bm := c.pos|c.neg, o.pos|o.neg
+	for am != 0 && bm != 0 {
+		ai := bits.TrailingZeros64(am)
+		bi := bits.TrailingZeros64(bm)
+		if ai != bi {
+			return ai - bi
 		}
-		if a[i].Val != b[i].Val {
-			if a[i].Val {
+		bit := uint64(1) << uint(ai)
+		av, bv := c.pos&bit != 0, o.pos&bit != 0
+		if av != bv {
+			if av {
 				return -1
 			}
 			return 1
 		}
+		am &= am - 1
+		bm &= bm - 1
 	}
-	return len(a) - len(b)
+	return bits.OnesCount64(am) - bits.OnesCount64(bm)
 }

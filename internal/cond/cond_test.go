@@ -2,6 +2,7 @@ package cond
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -19,8 +20,8 @@ func TestTrueCube(t *testing.T) {
 	if got := c.String(); got != "true" {
 		t.Fatalf("True().String() = %q, want %q", got, "true")
 	}
-	if got := c.Key(); got != "1" {
-		t.Fatalf("True().Key() = %q, want %q", got, "1")
+	if got := c.Key(); got != strings.Repeat("\x00", 16) {
+		t.Fatalf("True().Key() = %q, want 16 zero bytes", got)
 	}
 }
 

@@ -1,6 +1,7 @@
 package cond
 
 import (
+	"math/bits"
 	"sort"
 	"strings"
 )
@@ -77,35 +78,20 @@ func (d DNF) AndCube(c Cube) DNF { return d.And(FromCube(c)) }
 
 // Conds returns the set of conditions mentioned anywhere in the DNF, sorted.
 func (d DNF) Conds() []Cond {
-	var out []Cond
+	var m uint64
 	for _, c := range d.cubes {
-		out = mergeConds(out, c.Lits())
+		m |= c.Mask()
+	}
+	return maskConds(m)
+}
+
+// maskConds expands a condition bitmask into the sorted condition slice.
+func maskConds(m uint64) []Cond {
+	out := make([]Cond, 0, bits.OnesCount64(m))
+	for ; m != 0; m &= m - 1 {
+		out = append(out, Cond(bits.TrailingZeros64(m)))
 	}
 	return out
-}
-
-// mergeConds inserts the conditions of the sorted literal slice into the
-// sorted condition slice, keeping it sorted and duplicate-free.
-func mergeConds(dst []Cond, lits []Lit) []Cond {
-	for _, l := range lits {
-		dst = insertCond(dst, l.Cond)
-	}
-	return dst
-}
-
-// insertCond inserts one condition into a sorted, duplicate-free slice.
-func insertCond(dst []Cond, c Cond) []Cond {
-	i := len(dst)
-	for i > 0 && dst[i-1] > c {
-		i--
-	}
-	if i > 0 && dst[i-1] == c {
-		return dst
-	}
-	dst = append(dst, 0)
-	copy(dst[i+1:], dst[i:])
-	dst[i] = c
-	return dst
 }
 
 // SatisfiedBy reports whether the (possibly partial) assignment assign makes
@@ -200,46 +186,39 @@ func (d DNF) Simplify() DNF {
 // differ in the value of exactly one of them, returning the cube without that
 // condition.
 func mergeAdjacent(a, b Cube) (Cube, bool) {
-	if a.Len() != b.Len() || a.Len() == 0 {
+	if a.IsTrue() || a.Mask() != b.Mask() {
 		return Cube{}, false
 	}
-	if !a.CondsSubsetOf(b) {
-		return Cube{}, false
-	}
-	diff := None
-	for _, l := range a.Lits() {
-		bv, _ := b.Value(l.Cond)
-		if bv != l.Val {
-			if diff != None {
-				return Cube{}, false
-			}
-			diff = l.Cond
-		}
-	}
-	if diff == None {
+	diff := a.PosMask() ^ b.PosMask() // same mask, so also neg^neg
+	if diff == 0 {
 		// Identical cubes merge trivially.
 		return a, true
 	}
-	return a.Without(diff), true
+	if bits.OnesCount64(diff) != 1 {
+		return Cube{}, false
+	}
+	return a.Without(Cond(bits.TrailingZeros64(diff))), true
 }
 
 // assignments enumerates all full assignments over the given conditions and
-// calls fn for each; fn returning false stops the enumeration early. The cube
-// handed to fn shares one backing buffer across iterations: it is only valid
-// during the call and must not be retained.
+// calls fn for each; fn returning false stops the enumeration early.
 func assignments(conds []Cond, fn func(Cube) bool) {
 	n := len(conds)
 	if n > 24 {
 		n = 24 // safety bound; CPGs never get close to this
 	}
 	total := 1 << uint(n)
-	lits := make([]Lit, n)
 	for mask := 0; mask < total; mask++ {
-		// conds is sorted, so the literal slice is already in cube order.
+		var c Cube
 		for i := 0; i < n; i++ {
-			lits[i] = Lit{Cond: conds[i], Val: mask&(1<<uint(i)) != 0}
+			bit := uint64(1) << uint(conds[i])
+			if mask&(1<<uint(i)) != 0 {
+				c.pos |= bit
+			} else {
+				c.neg |= bit
+			}
 		}
-		if !fn(Cube{lits: lits}) {
+		if !fn(c) {
 			return
 		}
 	}
@@ -277,17 +256,15 @@ func cubeImpliesDNF(a Cube, o DNF) bool {
 	// Enumerate the assignments of the conditions o mentions and a does not,
 	// each extended with a itself; conditions mentioned nowhere cannot
 	// influence o.
-	var free []Cond
+	var freeMask uint64
 	for _, b := range o.cubes {
-		for _, l := range b.Lits() {
-			if !a.Has(l.Cond) {
-				free = insertCond(free, l.Cond)
-			}
-		}
+		freeMask |= b.Mask()
 	}
-	if len(free) == 0 {
+	freeMask &^= a.Mask()
+	if freeMask == 0 {
 		return false // a assigns everything o mentions, and no cube matched
 	}
+	free := maskConds(freeMask)
 	ok := true
 	assignments(free, func(x Cube) bool {
 		full, compatible := a.And(x)

@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 	"strings"
 	"sync/atomic"
@@ -167,6 +168,9 @@ type Stats struct {
 	LockViolations      int
 	Columns             int
 	Entries             int
+	// WarmReusedPaths counts the alternative paths whose optimal schedule
+	// was reused from a previous result by ScheduleWarm (0 on cold runs).
+	WarmReusedPaths int
 	// PathSchedulingTime is the wall-clock time spent scheduling the
 	// individual alternative paths (the figure of section 6 that quotes
 	// "less than 0.003 seconds" per graph).
@@ -294,6 +298,12 @@ func ScheduleContext(ctx context.Context, g *cpg.Graph, a *arch.Architecture, op
 // SchedulePhased is ScheduleContext reporting phase transitions to phases
 // (which may be nil).
 func SchedulePhased(ctx context.Context, g *cpg.Graph, a *arch.Architecture, opt Options, phases PhaseFunc) (*Result, error) {
+	return schedulePhased(ctx, g, a, opt, phases, nil)
+}
+
+// schedulePhased runs the full pipeline; warm (optional) allows reusing
+// per-path schedules from a previous result of the same problem shape.
+func schedulePhased(ctx context.Context, g *cpg.Graph, a *arch.Architecture, opt Options, phases PhaseFunc, warm *warmPlan) (*Result, error) {
 	if g == nil || a == nil {
 		return nil, errors.New("core: nil graph or architecture")
 	}
@@ -317,9 +327,18 @@ func SchedulePhased(ctx context.Context, g *cpg.Graph, a *arch.Architecture, opt
 	}
 	m := &merger{ctx: ctx, g: g, a: a, opt: opt, tbl: table.New()}
 	var deltaM int64
+	var reuse []warmReuse
+	if warm != nil {
+		reuse = warm.plan(g, paths)
+		for _, r := range reuse {
+			if r.optimal != nil {
+				m.stats.WarmReusedPaths++
+			}
+		}
+	}
 	//lint:allow nowallclock phase telemetry reported via Stats; never part of the table output or any hash
 	tPathSched := time.Now()
-	infos, err := schedulePaths(ctx, g, a, opt, paths)
+	infos, err := schedulePaths(ctx, g, a, opt, paths, reuse)
 	if err != nil {
 		return nil, err
 	}
@@ -405,7 +424,7 @@ func SchedulePhased(ctx context.Context, g *cpg.Graph, a *arch.Architecture, opt
 // result slot, so the fan-out is race-free; results come back indexed by
 // path so the outcome is identical to the sequential loop regardless of
 // worker count or completion order.
-func schedulePaths(ctx context.Context, g *cpg.Graph, a *arch.Architecture, opt Options, paths []*cpg.Path) ([]*pathInfo, error) {
+func schedulePaths(ctx context.Context, g *cpg.Graph, a *arch.Architecture, opt Options, paths []*cpg.Path, reuse []warmReuse) ([]*pathInfo, error) {
 	strategy, err := resolveStrategy(opt)
 	if err != nil {
 		return nil, err
@@ -426,6 +445,18 @@ func schedulePaths(ctx context.Context, g *cpg.Graph, a *arch.Architecture, opt 
 			return
 		}
 		p := paths[i]
+		if reuse != nil && reuse[i].optimal != nil {
+			// Warm start: the previous run's schedule for this path is
+			// byte-identical to what a fresh run would produce, so skip the
+			// (dominant) per-path strategy run and the subgraph extraction.
+			ps := reuse[i].optimal
+			order := make(map[sched.Key]int64, len(ps.Entries()))
+			for _, e := range ps.Entries() {
+				order[e.Key] = e.Start
+			}
+			infos[i] = &pathInfo{index: i, path: p, sub: reuse[i].sub, optimal: ps, order: order}
+			return
+		}
 		sub := g.Subgraph(p)
 		var ps *sched.PathSchedule
 		var err error
@@ -754,8 +785,9 @@ func (m *merger) earliestFeasible(pi *pathInfo, cur *sched.PathSchedule, key sch
 	proc := m.g.Process(key.Proc)
 	if proc.PE != arch.NoPE {
 		if cube, ok := m.g.Guard(key.Proc).SatisfiedCube(pi.path.Label); ok {
-			for _, l := range cube.Lits() {
-				if at, ok := cur.KnownTime(l.Cond, proc.PE); ok && at > earliest {
+			for cm := cube.Mask(); cm != 0; cm &= cm - 1 {
+				x := cond.Cond(bits.TrailingZeros64(cm))
+				if at, ok := cur.KnownTime(x, proc.PE); ok && at > earliest {
 					earliest = at
 				}
 			}

@@ -236,6 +236,18 @@ func (g *Graph) NumEdges() int { return len(g.edges) }
 // NumConds returns the number of conditions.
 func (g *Graph) NumConds() int { return len(g.conds) }
 
+// CondMask returns the declared conditions as a bitmask (bit i set means
+// condition i exists). Finalize guarantees the count fits cond.MaxConds, so
+// the mask is exact for finalized graphs; before Finalize an oversized
+// declaration saturates to all ones rather than silently wrapping.
+func (g *Graph) CondMask() uint64 {
+	n := len(g.conds)
+	if n >= cond.MaxConds {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(n)) - 1
+}
+
 // NumOrdinary returns the number of ordinary processes.
 func (g *Graph) NumOrdinary() int {
 	n := 0
@@ -371,6 +383,13 @@ func (g *Graph) mustBeFinalized() {
 func (g *Graph) Finalize(a *arch.Architecture) error {
 	if g.finalized {
 		return nil
+	}
+	// The bitset condition algebra caps conditions per graph; reject the
+	// graph here, before guards build any cube, so an oversized model fails
+	// with a clear error instead of a panic deep in the cond package.
+	if len(g.conds) > cond.MaxConds {
+		return fmt.Errorf("cpg: graph %q declares %d conditions, more than the %d the bitset condition algebra supports",
+			g.name, len(g.conds), cond.MaxConds)
 	}
 	if err := g.ensurePolar(); err != nil {
 		return err

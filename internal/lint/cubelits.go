@@ -1,0 +1,140 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// CubeLits flags writes through the result of Cube.Lits(). The method hands
+// out a snapshot of the cube's literals; under the retired slice-backed
+// representation it aliased the cube's backing storage, and writes through it
+// silently corrupted every cube sharing that slice. The bitset representation
+// closed the aliasing hole structurally (the snapshot is freshly built), so a
+// write through Lits() can no longer corrupt a cube — but it still never does
+// what the writer intended, because the mutation is discarded. The analyzer
+// catches both the direct form (c.Lits()[i] = ...) and writes through a local
+// variable assigned from a Lits() call within the same function.
+var CubeLits = &analysis.Analyzer{
+	Name: "cubelits",
+	Doc:  "flag writes through the result of Cube.Lits(), a read-only snapshot",
+	Run:  runCubeLits,
+}
+
+func runCubeLits(pass *analysis.Pass) (any, error) {
+	allows := newAllowDirectives(pass, "cubelits")
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkCubeLitsFunc(pass, allows, fn.Body)
+		}
+	}
+	return nil, nil
+}
+
+// checkCubeLitsFunc scans one function body: first collect the locals bound
+// directly to a Lits() call (flow-insensitively — a later rebind of the same
+// name keeps it tainted, which can over-report but never under-report in the
+// shapes the tree uses), then flag element writes through those locals or
+// through a Lits() call itself.
+func checkCubeLitsFunc(pass *analysis.Pass, allows *allowDirectives, body *ast.BlockStmt) {
+	tainted := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || !isCubeLitsCall(pass, call) {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok {
+				if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+					tainted[obj] = true
+				}
+			}
+		}
+		return true
+	})
+
+	flag := func(expr ast.Expr) {
+		base, indexed := litsWriteBase(expr)
+		if !indexed {
+			return
+		}
+		switch b := base.(type) {
+		case *ast.CallExpr:
+			if isCubeLitsCall(pass, b) {
+				reportf(pass, allows, expr.Pos(),
+					"write through Cube.Lits() result; the returned literals are a read-only snapshot of the cube (cubelits)")
+			}
+		case *ast.Ident:
+			if obj := pass.TypesInfo.ObjectOf(b); obj != nil && tainted[obj] {
+				reportf(pass, allows, expr.Pos(),
+					"write through %s, which holds a Cube.Lits() result; the returned literals are a read-only snapshot of the cube (cubelits)", b.Name)
+			}
+		}
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				flag(lhs)
+			}
+		case *ast.IncDecStmt:
+			flag(st.X)
+		}
+		return true
+	})
+}
+
+// litsWriteBase unwraps an assignment target like lits[0].Cond down to its
+// root expression, reporting whether the path crosses an index operation
+// (i.e. the write lands in a slice element rather than rebinding the slice
+// variable itself).
+func litsWriteBase(expr ast.Expr) (base ast.Expr, indexed bool) {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.IndexExpr:
+			expr = e.X
+			indexed = true
+		case *ast.SelectorExpr:
+			expr = e.X
+		default:
+			return e, indexed
+		}
+	}
+}
+
+// isCubeLitsCall reports whether call invokes a method named Lits on a named
+// type Cube (matched by name so testdata fixtures and the real cond package
+// are both covered).
+func isCubeLitsCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Lits" {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Cube"
+}

@@ -1,0 +1,97 @@
+// Package cond is a cubelits fixture: a miniature of the real cond package's
+// Cube/Lits API with flagged and accepted usage side by side.
+//
+// Regression note — the hole this analyzer guards: before the bitset
+// representation, Cube.Lits() returned the cube's backing storage, and a
+// write through it corrupted every cube sharing that slice (the exact
+// sequence TestLitsAliasingRegression in the real package pins). The bitset
+// snapshot made such writes harmless to the cube but still dead — the
+// mutation is discarded — so they are flagged either way.
+package cond
+
+// Lit mirrors cond.Lit.
+type Lit struct {
+	Cond int
+	Val  bool
+}
+
+// Cube mirrors the real Cube surface: Lits hands out a snapshot.
+type Cube struct {
+	pos, neg uint64
+}
+
+// Lits returns the literals of the cube. Read-only by contract.
+func (c Cube) Lits() []Lit {
+	return []Lit{{Cond: 0, Val: c.pos&1 != 0}}
+}
+
+// DirectWrite indexes straight into the call result.
+func DirectWrite(c Cube) {
+	c.Lits()[0] = Lit{Cond: 1} // want "write through Cube.Lits\(\) result"
+}
+
+// DirectFieldWrite writes one field of an element of the call result.
+func DirectFieldWrite(c Cube) {
+	c.Lits()[0].Val = true // want "write through Cube.Lits\(\) result"
+}
+
+// LocalWrite writes through a local bound to a Lits result.
+func LocalWrite(c Cube) {
+	lits := c.Lits()
+	lits[0] = Lit{Cond: 2} // want "write through lits, which holds a Cube.Lits\(\) result"
+}
+
+// LocalFieldIncrement mutates an element field through a local.
+func LocalFieldIncrement(c Cube) {
+	ls := c.Lits()
+	ls[0].Cond++ // want "write through ls, which holds a Cube.Lits\(\) result"
+}
+
+// ReadOnly reads are fine: indexing, ranging, copying out.
+func ReadOnly(c Cube) (int, bool) {
+	lits := c.Lits()
+	total := 0
+	for _, l := range lits {
+		total += l.Cond
+	}
+	return total + lits[0].Cond, lits[0].Val
+}
+
+// CopiedElement mutates a copied element value, not the snapshot. Accepted.
+func CopiedElement(c Cube) Lit {
+	l := c.Lits()[0]
+	l.Val = !l.Val
+	return l
+}
+
+// RebindLocal rebinds the variable itself (no element write). Accepted.
+func RebindLocal(c Cube) []Lit {
+	lits := c.Lits()
+	lits = append(lits, Lit{Cond: 3})
+	return lits
+}
+
+// OwnSlice writes through a slice that never came from Lits. Accepted.
+func OwnSlice() {
+	lits := make([]Lit, 1)
+	lits[0] = Lit{Cond: 4}
+}
+
+// Allowed demonstrates the escape hatch with a documented reason.
+func Allowed(c Cube) {
+	scratch := c.Lits()
+	//lint:allow cubelits scratch buffer reused as local storage, cube discarded
+	scratch[0] = Lit{Cond: 5}
+	_ = scratch
+}
+
+// OtherLits is a Lits method on a non-Cube type: out of scope.
+type OtherLits struct{ v []Lit }
+
+// Lits here aliases intentionally; the contract is this type's own business.
+func (o *OtherLits) Lits() []Lit { return o.v }
+
+// ForeignWrite writes through the non-Cube Lits result. Accepted.
+func ForeignWrite(o *OtherLits) {
+	o.Lits()[0] = Lit{Cond: 6}
+}

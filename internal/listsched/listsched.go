@@ -33,6 +33,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/bits"
 
 	"repro/internal/arch"
 	"repro/internal/cond"
@@ -408,8 +409,9 @@ func (sc *Scratch) Schedule(sub *cpg.Subgraph, a *arch.Architecture, opt Options
 		// Knowledge constraint (requirement 4): the guard's conditions must
 		// be known on the processing element executing the process.
 		if proc.PE != arch.NoPE {
-			for _, l := range sc.guardCube[p].Lits() {
-				if at, ok := ps.KnownTime(l.Cond, proc.PE); ok && at > est {
+			for m := sc.guardCube[p].Mask(); m != 0; m &= m - 1 {
+				x := cond.Cond(bits.TrailingZeros64(m))
+				if at, ok := ps.KnownTime(x, proc.PE); ok && at > est {
 					est = at
 				}
 			}

@@ -202,7 +202,10 @@ func (ps *PathSchedule) KnownAt(pe arch.PEID, t int64) cond.Cube {
 	if len(ps.conds) == 0 {
 		return cond.True()
 	}
-	lits := make([]cond.Lit, 0, len(ps.conds))
+	// The cube is a canonical bitset, so the map's iteration order cannot
+	// reach the output, and each condition appears at most once, so MustWith
+	// cannot contradict.
+	c := cond.True()
 	for _, ct := range ps.conds {
 		avail := ct.BroadcastEnd
 		if ct.DeciderPE == pe && ct.DeciderPE != arch.NoPE {
@@ -214,12 +217,9 @@ func (ps *PathSchedule) KnownAt(pe arch.PEID, t int64) cond.Cube {
 			avail = ct.DecidedAt
 		}
 		if t >= avail {
-			//lint:allow detmap CubeFromOwnedLits sorts and compacts the literals, so collection order cannot reach the output
-			lits = append(lits, cond.Lit{Cond: ct.Cond, Val: ct.Value})
+			c = c.MustWith(ct.Cond, ct.Value)
 		}
 	}
-	// Each condition appears at most once, so the cube cannot contradict.
-	c, _ := cond.CubeFromOwnedLits(lits)
 	return c
 }
 

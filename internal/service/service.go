@@ -19,6 +19,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/bits"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -35,6 +36,12 @@ import (
 // Config.CacheSize is zero.
 const DefaultCacheSize = 256
 
+// DefaultWarmMaxDirty is the largest τ-only diff (number of processes with a
+// changed execution time) the service warm-starts from a memoized result when
+// Config.WarmMaxDirty is zero. Beyond it most paths are dirty anyway, so the
+// warm run would save little over a cold one.
+const DefaultWarmMaxDirty = 8
+
 // Config parameterises a Service.
 type Config struct {
 	// Workers is the global worker budget shared across every concurrent
@@ -46,6 +53,13 @@ type Config struct {
 	// CacheSize bounds the solved-problem memo (0 = DefaultCacheSize,
 	// negative = caching disabled).
 	CacheSize int
+	// WarmMaxDirty bounds the number of processes whose execution time may
+	// differ from a memoized problem for the service to warm-start the run
+	// from the cached result instead of scheduling every path cold
+	// (0 = DefaultWarmMaxDirty, negative = warm-start disabled). Only τ-time
+	// diffs ever warm-start; a diff touching conditions, edges, mappings,
+	// processing elements or options always runs cold.
+	WarmMaxDirty int
 }
 
 // Problem is one scheduling request: a mapped conditional process graph, the
@@ -74,6 +88,11 @@ type Solution struct {
 	// CacheHit reports whether the solution came from the memo instead of
 	// a fresh scheduling run.
 	CacheHit bool
+	// WarmStart reports whether the run was warm-started from a memoized
+	// near-miss result (same shape, τ-only diff), reusing the per-path
+	// schedules of the unaffected paths. Warm results are byte-identical to
+	// cold ones; the flag is observability, not semantics.
+	WarmStart bool
 	// Workers is the number of worker tokens the request was granted
 	// (zero on cache hits).
 	Workers int
@@ -88,6 +107,8 @@ type Stats struct {
 	CacheMisses int64
 	// CacheLen is the current number of memoized solutions.
 	CacheLen int
+	// WarmStarts counts runs warm-started from a memoized near-miss result.
+	WarmStarts int64
 	// SweepRequests counts SweepShard calls, and the SweepCache fields are
 	// the shard-result memo counters.
 	SweepRequests    int64
@@ -105,9 +126,20 @@ type Service struct {
 	tokens    chan struct{}
 	cache     *memo.LRU[*core.Result]
 	sweeps    *memo.LRU[*expr.ShardResult]
+	warm      *memo.LRU[*warmEntry]
+	warmMax   int // largest τ-only diff eligible for warm-start; < 0 disables
 	requests  atomic.Int64
+	warmHits  atomic.Int64
 	sweepReqs atomic.Int64
 	progress  sweepTracker
+}
+
+// warmEntry pairs a memoized result with the canonical document it was
+// computed from, keyed by the problem's shape hash. The doc is what a
+// near-miss request is diffed against to find the τ-dirty processes.
+type warmEntry struct {
+	doc *textio.ProblemDoc
+	res *core.Result
 }
 
 // New returns a Service with the given budget and memo capacity. A negative
@@ -128,11 +160,17 @@ func New(cfg Config) (*Service, error) {
 	case size < 0:
 		size = 0
 	}
+	warmMax := cfg.WarmMaxDirty
+	if warmMax == 0 {
+		warmMax = DefaultWarmMaxDirty
+	}
 	s := &Service{
-		budget: budget,
-		tokens: make(chan struct{}, budget),
-		cache:  memo.NewLRU[*core.Result](size),
-		sweeps: memo.NewLRU[*expr.ShardResult](size),
+		budget:  budget,
+		tokens:  make(chan struct{}, budget),
+		cache:   memo.NewLRU[*core.Result](size),
+		sweeps:  memo.NewLRU[*expr.ShardResult](size),
+		warm:    memo.NewLRU[*warmEntry](size),
+		warmMax: warmMax,
 	}
 	for i := 0; i < budget; i++ {
 		s.tokens <- struct{}{}
@@ -147,6 +185,7 @@ func (s *Service) Stats() Stats {
 		CacheHits:        s.cache.Hits(),
 		CacheMisses:      s.cache.Misses(),
 		CacheLen:         s.cache.Len(),
+		WarmStarts:       s.warmHits.Load(),
 		SweepRequests:    s.sweepReqs.Load(),
 		SweepCacheHits:   s.sweeps.Hits(),
 		SweepCacheMisses: s.sweeps.Misses(),
@@ -188,7 +227,8 @@ func (s *Service) Schedule(ctx context.Context, p *Problem) (*Solution, error) {
 		return nil, fmt.Errorf("%w; got %d", core.ErrNegativeWorkers, p.Options.Workers)
 	}
 	s.requests.Add(1)
-	hash, err := s.Hash(p)
+	doc := textio.EncodeProblem(p.Graph, p.Arch, p.Options)
+	hash, err := textio.ProblemHash(doc)
 	if err != nil {
 		return nil, err
 	}
@@ -199,6 +239,26 @@ func (s *Service) Schedule(ctx context.Context, p *Problem) (*Solution, error) {
 	if memoizable {
 		if res, ok := s.cache.Get(hash); ok {
 			return &Solution{Result: res, ProblemHash: hash, CacheHit: true}, nil
+		}
+	}
+	// Exact miss: look for a near-miss to warm-start from — a memoized
+	// problem with the same structural shape whose diff is a τ-time edit of
+	// at most warmMax processes. Anything else (conditions, edges, mappings,
+	// elements, options) lands on a different shape hash or fails the diff
+	// and runs cold. Timing-dependent (budgeted) runs are excluded in both
+	// directions, like the exact memo.
+	var warmPrev *core.Result
+	var warmDirty []cpg.ProcID
+	var shapeKey string
+	if memoizable && s.warmMax >= 0 {
+		shapeKey, err = textio.ProblemShapeHash(doc)
+		if err != nil {
+			return nil, err
+		}
+		if entry, ok := s.warm.Get(shapeKey); ok {
+			if dirty, ok := diffTauOnly(entry.doc, doc, p.Graph, s.warmMax); ok {
+				warmPrev, warmDirty = entry.res, dirty
+			}
 		}
 	}
 	want := p.Options.Workers
@@ -222,7 +282,7 @@ func (s *Service) Schedule(ctx context.Context, p *Problem) (*Solution, error) {
 	defer func() { s.releaseTokens(held) }()
 	opt := p.Options
 	opt.Workers = granted
-	res, err := core.SchedulePhased(ctx, p.Graph, p.Arch, opt, func(phase string, want int) int {
+	phase := func(phase string, want int) int {
 		switch phase {
 		case core.PhaseMerge:
 			// The merge is sequential: keep one token and hand the rest
@@ -239,14 +299,62 @@ func (s *Service) Schedule(ctx context.Context, p *Problem) (*Solution, error) {
 			return held
 		}
 		return want
-	})
+	}
+	var res *core.Result
+	if warmPrev != nil {
+		res, err = core.ScheduleWarmPhased(ctx, warmPrev, p.Graph, p.Arch, opt, warmDirty, phase)
+	} else {
+		res, err = core.SchedulePhased(ctx, p.Graph, p.Arch, opt, phase)
+	}
 	if err != nil {
 		return nil, err
 	}
+	warmStarted := warmPrev != nil && res.Stats.WarmReusedPaths > 0
+	if warmStarted {
+		s.warmHits.Add(1)
+	}
 	if memoizable {
 		s.cache.Add(hash, res)
+		if s.warmMax >= 0 {
+			s.warm.Add(shapeKey, &warmEntry{doc: doc, res: res})
+		}
 	}
-	return &Solution{Result: res, ProblemHash: hash, Workers: granted}, nil
+	return &Solution{Result: res, ProblemHash: hash, Workers: granted, WarmStart: warmStarted}, nil
+}
+
+// diffTauOnly verifies that two same-shape problem documents differ only in
+// the execution times of at most maxDirty processes and returns those
+// processes' identifiers in g. The shape hash already pins everything except
+// τ times, but the check re-verifies the per-process identity defensively —
+// a false negative merely costs a cold run, a false positive would reuse a
+// stale schedule.
+func diffTauOnly(prev, cur *textio.ProblemDoc, g *cpg.Graph, maxDirty int) ([]cpg.ProcID, bool) {
+	if prev == nil || cur == nil || len(prev.Processes) != len(cur.Processes) {
+		return nil, false
+	}
+	if len(prev.Elements) != len(cur.Elements) || len(prev.Conditions) != len(cur.Conditions) ||
+		len(prev.Edges) != len(cur.Edges) || prev.CondTime != cur.CondTime {
+		return nil, false
+	}
+	var dirty []cpg.ProcID
+	for i, p := range cur.Processes {
+		q := prev.Processes[i]
+		if q.Name != p.Name || q.Kind != p.Kind || q.PE != p.PE {
+			return nil, false
+		}
+		if q.Exec == p.Exec {
+			continue
+		}
+		id, ok := g.FindByName(p.Name)
+		if !ok {
+			return nil, false
+		}
+		dirty = append(dirty, id)
+		if len(dirty) > maxDirty {
+			return nil, false
+		}
+	}
+	return dirty, true
 }
 
 // ScheduleBatch schedules every problem concurrently under the shared worker
@@ -413,9 +521,12 @@ func (s *Service) SweepProgressChanged() <-chan struct{} {
 
 // maxUsefulWorkers bounds the parallelism a problem can exploit: the path
 // fan-outs clamp to the number of alternative paths, which is at most
-// 2^conditions.
+// 2^conditions. The condition count is taken from the graph's condition
+// bitmask population, and the shift is clamped well below the mask width
+// (cond.MaxConds = 64), so a maximal graph yields a large finite cap instead
+// of a wrapped-to-zero (or negative) one.
 func maxUsefulWorkers(g *cpg.Graph) int {
-	conds := g.NumConds()
+	conds := bits.OnesCount64(g.CondMask())
 	if conds >= 30 {
 		return 1 << 30
 	}

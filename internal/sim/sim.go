@@ -24,6 +24,7 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"repro/internal/arch"
@@ -202,10 +203,11 @@ func RunSubgraph(sub *cpg.Subgraph, a *arch.Architecture, tbl *table.Table) (*Tr
 					expr = e.Expr
 				}
 			}
-			for _, l := range expr.Lits() {
-				if at := knownAt(l.Cond, proc.PE); start < at {
+			for m := expr.Mask(); m != 0; m &= m - 1 {
+				x := cond.Cond(bits.TrailingZeros64(m))
+				if at := knownAt(x, proc.PE); start < at {
 					addViolation(k, "activation at %d uses condition %s which is known on %s only at %d (requirement 4)",
-						start, g.CondName(l.Cond), peName(a, proc.PE), at)
+						start, g.CondName(x), peName(a, proc.PE), at)
 				}
 			}
 		}

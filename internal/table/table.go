@@ -11,9 +11,10 @@
 // the style of Table 1.
 //
 // Rows keep their entries sorted by (activation time, expression) and carry a
-// per-row index from canonical expression key to entry, so the merging
-// algorithm's inner loop (deriveLocks, covered, Conflicts, Place) reads rows
-// without copying and looks expressions up in constant time.
+// per-row index keyed by the expression cube itself (cond.Cube is a
+// comparable 16-byte bitset), so the merging algorithm's inner loop
+// (deriveLocks, covered, Conflicts, Place) reads rows without copying and
+// looks expressions up in constant time with no key encoding at all.
 package table
 
 import (
@@ -35,20 +36,17 @@ type Entry struct {
 }
 
 // row stores the entries of one table row sorted by (Start, Expr) plus an
-// index from canonical expression key to entry.
+// index from expression cube to entry.
 type row struct {
 	entries []Entry
-	byExpr  map[string]Entry
+	byExpr  map[cond.Cube]Entry
 }
 
-// Table is a schedule table under construction or completed.
+// Table is a schedule table under construction or completed. Mutating methods
+// are not safe for concurrent use (the read-only validation fan-out is).
 type Table struct {
 	rows map[sched.Key]*row
 	keys []sched.Key // insertion order of rows
-	// keyBuf is a scratch buffer for canonical expression keys, so map
-	// lookups during placement do not allocate. Mutating methods are not
-	// safe for concurrent use (the read-only validation fan-out is).
-	keyBuf []byte
 }
 
 // New returns an empty schedule table.
@@ -92,19 +90,15 @@ func (t *Table) NumEntries() int {
 // Columns returns the distinct column expressions used anywhere in the table,
 // ordered deterministically (fewer literals first, then lexicographically).
 func (t *Table) Columns() []cond.Cube {
-	seen := map[string]cond.Cube{}
-	var buf []byte
+	seen := map[cond.Cube]struct{}{}
+	var out []cond.Cube
 	for _, r := range t.rows {
 		for _, e := range r.entries {
-			buf = e.Expr.AppendKey(buf[:0])
-			if _, ok := seen[string(buf)]; !ok {
-				seen[string(buf)] = e.Expr
+			if _, ok := seen[e.Expr]; !ok {
+				seen[e.Expr] = struct{}{}
+				out = append(out, e.Expr)
 			}
 		}
-	}
-	out := make([]cond.Cube, 0, len(seen))
-	for _, c := range seen {
-		out = append(out, c)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Len() != out[j].Len() {
@@ -135,7 +129,7 @@ func (t *Table) Lookup(k sched.Key, expr cond.Cube) (Entry, bool) {
 	if r == nil {
 		return Entry{}, false
 	}
-	e, ok := r.byExpr[expr.Key()]
+	e, ok := r.byExpr[expr]
 	return e, ok
 }
 
@@ -186,12 +180,11 @@ func (t *Table) Conflicts(k sched.Key, expr cond.Cube, start int64) []Entry {
 func (t *Table) Place(k sched.Key, expr cond.Cube, start int64) error {
 	r := t.rows[k]
 	if r == nil {
-		r = &row{byExpr: map[string]Entry{}}
+		r = &row{byExpr: map[cond.Cube]Entry{}}
 		t.rows[k] = r
 		t.keys = append(t.keys, k)
 	}
-	t.keyBuf = expr.AppendKey(t.keyBuf[:0])
-	if existing, ok := r.byExpr[string(t.keyBuf)]; ok {
+	if existing, ok := r.byExpr[expr]; ok {
 		if existing.Start == start {
 			return nil
 		}
@@ -208,7 +201,7 @@ func (t *Table) Place(k sched.Key, expr cond.Cube, start int64) error {
 	r.entries = append(r.entries, Entry{})
 	copy(r.entries[idx+1:], r.entries[idx:])
 	r.entries[idx] = e
-	r.byExpr[string(t.keyBuf)] = e
+	r.byExpr[expr] = e
 	return nil
 }
 
@@ -216,7 +209,7 @@ func (t *Table) Place(k sched.Key, expr cond.Cube, start int64) error {
 // that rendering lists every process even when (unusually) it has no entry.
 func (t *Table) EnsureRow(k sched.Key) {
 	if _, ok := t.rows[k]; !ok {
-		t.rows[k] = &row{byExpr: map[string]Entry{}}
+		t.rows[k] = &row{byExpr: map[cond.Cube]Entry{}}
 		t.keys = append(t.keys, k)
 	}
 }

@@ -351,6 +351,30 @@ func ProblemHash(d *ProblemDoc) (string, error) {
 	return memo.HashJSON(&c)
 }
 
+// ProblemShapeHash returns the hash of the problem's structural shape: the
+// canonical document with options.workers cleared (like ProblemHash) and
+// additionally every process execution time zeroed. Two problems share a
+// shape hash exactly when they differ at most in τ times — the near-miss the
+// service's warm-start rescheduling looks for. Conditions, edges, mappings,
+// processing elements, the broadcast time and every deterministic option all
+// stay in the hash, so a diff touching any of them lands on a different
+// shape and falls back to a cold run.
+func ProblemShapeHash(d *ProblemDoc) (string, error) {
+	c := *d
+	if c.Options != nil {
+		o := *c.Options
+		o.Workers = 0
+		c.Options = &o
+	}
+	procs := make([]ProcDoc, len(c.Processes))
+	for i, p := range c.Processes {
+		p.Exec = 0
+		procs[i] = p
+	}
+	c.Processes = procs
+	return memo.HashJSON(&c)
+}
+
 // SolutionPathDoc is the per-alternative-path part of a solution document.
 type SolutionPathDoc struct {
 	Label        string `json:"label"`
